@@ -1,0 +1,43 @@
+"""E3 — Δ0 Craig interpolation from focused proofs (Theorem 4).
+
+The paper claims linear-time extraction in the size of the proof.  We measure
+interpolation over the determinacy proofs of the example problems and over the
+copy-chain family (whose proofs grow with the chain length) and report the
+proof size alongside, so the scaling shape can be read off the benchmark table.
+"""
+
+import pytest
+
+from repro.interpolation.delta0 import interpolate
+from repro.interpolation.partition import Partition
+from repro.logic.macros import negate
+from repro.proofs.prooftree import proof_size
+from repro.proofs.search import ProofSearch
+from repro.specs import examples
+
+CASES = {
+    "identity_view": examples.identity_view,
+    "union_view": examples.union_view,
+    "intersection_view": examples.intersection_view,
+    "copy_chain_1": lambda: examples.copy_chain(1),
+    "copy_chain_2": lambda: examples.copy_chain(2),
+}
+
+
+def _prepare(problem):
+    goal = problem.determinacy_goal()
+    proof = ProofSearch(max_depth=12).prove(goal)
+    phi, primed_phi, conclusion = problem.determinacy_hypotheses()
+    partition = Partition.of(
+        goal, left_delta=[negate(phi)], right_delta=[negate(primed_phi), conclusion]
+    )
+    return proof, partition
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_bench_interpolation(benchmark, name):
+    problem = CASES[name]()
+    proof, partition = _prepare(problem)
+    benchmark.extra_info["proof_size"] = proof_size(proof)
+    theta = benchmark(lambda: interpolate(proof, partition))
+    assert theta is not None

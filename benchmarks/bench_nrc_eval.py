@@ -1,0 +1,48 @@
+"""E1 — NRC evaluator and macro layer (Fig. 1, Section 3).
+
+Measures evaluation cost of the flattening query of Example 1.1 and of
+Δ0-comprehension as the instance grows; the expected shape is linear growth in
+the number of (key, element) pairs.
+"""
+
+import pytest
+
+from repro.nr.types import UR, prod, set_of
+from repro.nr.values import pair, ur, vset
+from repro.nrc.eval import eval_nrc
+from repro.nrc.expr import NBigUnion, NPair, NProj, NSingleton, NVar
+from repro.nrc.macros import comprehension
+from repro.logic.formulas import NeqUr
+from repro.logic.terms import Var, proj1, proj2
+
+ELEM = prod(UR, set_of(UR))
+B = NVar("B", set_of(ELEM))
+
+
+def flatten_expr():
+    b = NVar("b", ELEM)
+    c = NVar("c", UR)
+    return NBigUnion(NBigUnion(NSingleton(NPair(NProj(1, b), c)), c, NProj(2, b)), b, B)
+
+
+def nested_instance(keys, elems_per_key):
+    return vset([pair(ur(f"k{i}"), vset([ur(i * 1000 + j) for j in range(elems_per_key)])) for i in range(keys)])
+
+
+@pytest.mark.parametrize("keys,elems", [(10, 5), (50, 10), (200, 10)])
+def test_bench_flatten_eval(benchmark, keys, elems):
+    expr = flatten_expr()
+    value = nested_instance(keys, elems)
+    result = benchmark(lambda: eval_nrc(expr, {B: value}))
+    assert len(result.elements) == keys * elems
+
+
+@pytest.mark.parametrize("size", [20, 100, 400])
+def test_bench_comprehension_eval(benchmark, size):
+    source = NVar("S", set_of(UR))
+    z = NVar("z", UR)
+    phi = NeqUr(Var("z", UR), Var("t", UR))
+    expr = comprehension(source, z, phi)
+    env = {source: vset([ur(i) for i in range(size)]), NVar("t", UR): ur(0)}
+    result = benchmark(lambda: eval_nrc(expr, env))
+    assert len(result.elements) == size - 1

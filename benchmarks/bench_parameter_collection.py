@@ -1,0 +1,51 @@
+"""E4 — NRC Parameter Collection (Theorem 8 / Lemma 9).
+
+Measures extraction of the candidate-set expression ``E`` and the side formula
+``θ`` from focused proofs of goals ``∃y∈D ∀z∈c (λ(z) ↔ ρ(z,y))`` as the number
+of "distractor" common sets grows.  Expected shape: extraction time grows with
+the proof size (low-degree polynomial per the paper's PTIME claim).
+"""
+
+import pytest
+
+from repro.interpolation.partition import Partition
+from repro.logic.formulas import Exists, Forall
+from repro.logic.macros import iff, member_hat, negate
+from repro.logic.terms import Var
+from repro.logic.formulas import conj
+from repro.nr.types import UR, set_of
+from repro.proofs.prooftree import proof_size
+from repro.proofs.search import ProofSearch
+from repro.proofs.sequents import Sequent
+from repro.synthesis.parameter_collection import CollectionGoal, parameter_collection
+
+
+def make_goal(extra_commons: int):
+    c = Var("c", set_of(UR))
+    A = Var("A", set_of(UR))
+    B = Var("Bc", set_of(UR))
+    D = Var("D", set_of(set_of(UR)))
+    z = Var("z", UR)
+    y = Var("y", set_of(UR))
+    lam = member_hat(z, A)
+    rho = member_hat(z, y)
+    left_conjuncts = [Forall(z, c, iff(member_hat(z, A), member_hat(z, B)))]
+    for i in range(extra_commons):
+        extra = Var(f"C{i}", set_of(UR))
+        left_conjuncts.append(Forall(z, extra, member_hat(z, extra)))
+    phi_left = conj(left_conjuncts)
+    phi_right = member_hat(B, D)
+    goal_formula = Exists(y, D, Forall(z, c, iff(lam, rho)))
+    sequent = Sequent.of((), [negate(phi_left), negate(phi_right), goal_formula])
+    goal = CollectionGoal(goal_formula, c, z, lam)
+    partition = Partition.of(sequent, left_delta=[negate(phi_left)], right_delta=[negate(phi_right)])
+    return sequent, partition, goal
+
+
+@pytest.mark.parametrize("extra", [0, 2, 4])
+def test_bench_parameter_collection(benchmark, extra):
+    sequent, partition, goal = make_goal(extra)
+    proof = ProofSearch(max_depth=12).prove(sequent)
+    benchmark.extra_info["proof_size"] = proof_size(proof)
+    expr, theta = benchmark(lambda: parameter_collection(proof, partition, goal))
+    assert expr is not None and theta is not None

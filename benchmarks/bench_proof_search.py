@@ -1,0 +1,49 @@
+"""E2 — focused proof search for determinacy witnesses (Fig. 3, Section 4).
+
+The paper gives no prover; this measures the bundled search substrate on the
+example determinacy problems and on the copy-chain scaling family.  Expected
+shape: the simple view problems are milliseconds; proof size grows linearly
+with the chain length while search time grows faster (the search is not part
+of the paper's PTIME claims — only extraction from a found proof is).
+"""
+
+import pytest
+
+from repro.proofs.checker import check_proof
+from repro.proofs.prooftree import proof_size
+from repro.proofs.search import ProofSearch
+from repro.specs import examples
+
+PROBLEMS = {
+    "identity_view": examples.identity_view,
+    "union_view": examples.union_view,
+    "intersection_view": examples.intersection_view,
+    "pair_of_views": examples.pair_of_views,
+    "unique_element": examples.unique_element,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROBLEMS))
+def test_bench_determinacy_search(benchmark, name):
+    problem = PROBLEMS[name]()
+    goal = problem.determinacy_goal()
+
+    def run():
+        return ProofSearch(max_depth=12).prove(goal)
+
+    proof = benchmark(run)
+    check_proof(proof)
+    assert proof_size(proof) > 0
+
+
+@pytest.mark.parametrize("length", [1, 2])
+def test_bench_copy_chain_search(benchmark, length):
+    problem = examples.copy_chain(length)
+    goal = problem.determinacy_goal()
+    schedule = [2 * length + 4]
+
+    def run():
+        return ProofSearch(max_depth=2 * length + 4, depth_schedule=schedule).prove(goal)
+
+    proof = benchmark(run)
+    check_proof(proof)

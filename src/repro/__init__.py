@@ -1,0 +1,17 @@
+"""repro — synthesizing nested relational queries from implicit specifications.
+
+Reference implementation of Benedikt, Pradic and Wernhard, "Synthesizing
+nested relational queries from implicit specifications" (PODS 2023).
+
+The most common entry points:
+
+* :func:`repro.synthesis.synthesize` — implicit Δ0 specification + determinacy
+  witness → explicit NRC definition (Theorem 2).
+* :func:`repro.synthesis.rewrite_query_over_views` — NRC views + NRC query →
+  NRC rewriting of the query over the views (Corollary 3).
+* :mod:`repro.specs.examples` — the paper's worked examples as ready-made
+  problems.
+* :class:`repro.proofs.search.ProofSearch` — the bundled focused proof search.
+"""
+
+__version__ = "1.0.0"

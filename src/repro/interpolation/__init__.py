@@ -1,0 +1,6 @@
+"""Craig interpolation for the Δ0 proof systems (Theorem 4)."""
+
+from repro.interpolation.partition import Partition, Side
+from repro.interpolation.delta0 import interpolate, InterpolationResult
+
+__all__ = ["Partition", "Side", "interpolate", "InterpolationResult"]

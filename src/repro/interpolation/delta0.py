@@ -1,0 +1,217 @@
+"""Craig interpolation from focused Δ0 proofs (Theorem 4, Appendix D).
+
+Given a focused proof of ``Θ ⊢ Δ`` and a partition of ``Θ`` and ``Δ`` into a
+left part and a right part, :func:`interpolate` computes a Δ0 formula ``θ``
+such that (semantically, hence also over nested relations):
+
+* ``Θ_L ⊨ Δ_L ∨ θ``          (left condition)
+* ``Θ_R ⊨ Δ_R ∨ ¬θ``         (right condition)
+* ``FV(θ) ⊆ FV(Θ_L, Δ_L) ∩ FV(Θ_R, Δ_R)``.
+
+In two-sided terms (with Γ the negations of part of Δ) this is exactly the
+statement of Theorem 4.  The construction follows Maehara's method, one case
+per rule of Figure 3; the run time is linear in the size of the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import InterpolationError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Formula,
+    Member,
+    NeqUr,
+    Or,
+    Top,
+)
+from repro.logic.free_vars import free_vars, replace_term, substitute
+from repro.logic.terms import PairTerm, Proj, Term, Var, term_type, term_vars
+from repro.interpolation.partition import LEFT, RIGHT, Partition, Side
+from repro.proofs.prooftree import ProofNode
+from repro.proofs.sequents import Sequent
+
+
+@dataclass(frozen=True)
+class InterpolationResult:
+    """The interpolant together with the partition it was computed against."""
+
+    interpolant: Formula
+    partition: Partition
+
+
+def interpolate(proof: ProofNode, partition: Partition) -> Formula:
+    """Compute a Craig interpolant for the partitioned conclusion of ``proof``."""
+    return _interpolate(proof, partition)
+
+
+# --------------------------------------------------------------------------
+def _interpolate(node: ProofNode, partition: Partition) -> Formula:
+    rule = node.rule
+    if rule == "top":
+        return _axiom_interpolant(partition.side_of(Top()))
+    if rule == "eq":
+        principal: EqUr = node.meta["principal"]
+        return _axiom_interpolant(partition.side_of(principal))
+    if rule == "weaken":
+        premise = node.premises[0]
+        inner = partition.for_premise(premise.sequent)
+        return _interpolate(premise, inner)
+    if rule == "or":
+        principal = node.meta["principal"]
+        side = partition.side_of(principal)
+        premise = node.premises[0]
+        inner = partition.for_premise(premise.sequent, {principal.left: side, principal.right: side})
+        return _interpolate(premise, inner)
+    if rule == "and":
+        principal = node.meta["principal"]
+        side = partition.side_of(principal)
+        left_premise, right_premise = node.premises
+        theta1 = _interpolate(
+            left_premise, partition.for_premise(left_premise.sequent, {principal.left: side})
+        )
+        theta2 = _interpolate(
+            right_premise, partition.for_premise(right_premise.sequent, {principal.right: side})
+        )
+        return Or(theta1, theta2) if side == LEFT else And(theta1, theta2)
+    if rule == "forall":
+        principal = node.meta["principal"]
+        fresh: Var = node.meta["fresh"]
+        side = partition.side_of(principal)
+        premise = node.premises[0]
+        body = substitute(principal.body, principal.var, fresh)
+        inner = partition.for_premise(
+            premise.sequent, {body: side}, {Member(fresh, principal.bound): side}
+        )
+        return _interpolate(premise, inner)
+    if rule == "exists":
+        return _interpolate_exists(node, partition)
+    if rule == "neq":
+        return _interpolate_neq(node, partition)
+    if rule == "prod_eta":
+        var: Var = node.meta["var"]
+        fresh1, fresh2 = node.meta["fresh"]
+        premise = node.premises[0]
+        pair = PairTerm(fresh1, fresh2)
+        remapped = partition.remap(
+            lambda f: substitute(f, var, pair),
+            lambda a: Member(_subst_term(a.elem, var, pair), _subst_term(a.collection, var, pair)),
+        )
+        inner = remapped.for_premise(premise.sequent)
+        theta = _interpolate(premise, inner)
+        theta = replace_term(theta, fresh1, Proj(1, var))
+        theta = replace_term(theta, fresh2, Proj(2, var))
+        return theta
+    if rule == "prod_beta":
+        pair: PairTerm = node.meta["pair"]
+        index: int = node.meta["index"]
+        premise = node.premises[0]
+        redex = Proj(index, pair)
+        component = pair.left if index == 1 else pair.right
+        remapped = partition.remap(
+            lambda f: replace_term(f, redex, component),
+            lambda a: Member(
+                _replace_term_in_term(a.elem, redex, component),
+                _replace_term_in_term(a.collection, redex, component),
+            ),
+        )
+        inner = remapped.for_premise(premise.sequent)
+        return _interpolate(premise, inner)
+    raise InterpolationError(f"unknown rule {rule!r} in interpolation")
+
+
+def _axiom_interpolant(side: Side) -> Formula:
+    """Axioms: a left principal gives ⊥, a right principal gives ⊤."""
+    return Bottom() if side == LEFT else Top()
+
+
+# ------------------------------------------------------------------- ∃ rule
+def _interpolate_exists(node: ProofNode, partition: Partition) -> Formula:
+    principal: Exists = node.meta["principal"]
+    witnesses: Tuple[Term, ...] = node.meta["witnesses"]
+    side = partition.side_of(principal)
+    premise = node.premises[0]
+    specialized = node.meta["specialized"]
+    inner = partition.for_premise(premise.sequent, {specialized: side})
+    theta = _interpolate(premise, inner)
+
+    # Eliminate witness variables that are not common in the conclusion,
+    # bounding them by the quantifier bounds they instantiated (Lemma 11 /
+    # Appendix D: "the term is replaced by a quantified variable").
+    from repro.proofs.focused import specialization_bounds
+
+    bounds = specialization_bounds(principal, witnesses)
+    common = partition.common_vars()
+    avoid = set(free_vars(theta)) | set(common)
+    for witness, bound in zip(reversed(witnesses), reversed(bounds)):
+        theta_vars = free_vars(theta)
+        witness_vars = term_vars(witness)
+        offending = (witness_vars - common) & theta_vars
+        if not offending:
+            continue
+        if not isinstance(witness, Var):
+            raise InterpolationError(
+                f"cannot eliminate non-variable witness {witness} from the interpolant; "
+                "apply ×η/×β normalization to the proof first"
+            )
+        bound_vars = term_vars(bound)
+        if not bound_vars <= common:
+            raise InterpolationError(
+                f"quantifier bound {bound} mixes non-common variables; cannot bound-quantify {witness}"
+            )
+        from repro.logic.free_vars import fresh_var
+
+        replacement = fresh_var(witness.name, witness.typ, avoid | free_vars(theta))
+        body = substitute(theta, witness, replacement)
+        if side == LEFT:
+            theta = Forall(replacement, bound, body)
+        else:
+            theta = Exists(replacement, bound, body)
+    return theta
+
+
+# ------------------------------------------------------------------- ≠ rule
+def _interpolate_neq(node: ProofNode, partition: Partition) -> Formula:
+    neq: NeqUr = node.meta["neq"]
+    source: Formula = node.meta["source"]
+    target: Formula = node.meta["target"]
+    premise = node.premises[0]
+    neq_side = partition.side_of(neq)
+    source_side = partition.side_of(source)
+
+    inner = partition.for_premise(premise.sequent, {target: source_side})
+    theta = _interpolate(premise, inner)
+
+    if neq_side == source_side:
+        return theta
+
+    # Cross-side replacement (Appendix E, ≠ cases): the equality hypothesis
+    # ``t = u`` lives on one side while the rewritten atom lives on the other.
+    common = partition.common_vars()
+    replaced_common = term_vars(neq.right) <= common
+    if replaced_common:
+        if neq_side == LEFT:
+            # hypothesis t = u on the left, rewritten atom on the right
+            return And(theta, EqUr(neq.left, neq.right))
+        return Or(theta, NeqUr(neq.left, neq.right))
+    # Otherwise eliminate u from the interpolant by substituting t for it.
+    return replace_term(theta, neq.right, neq.left)
+
+
+# ------------------------------------------------------------------ helpers
+def _subst_term(term: Term, var: Var, replacement: Term) -> Term:
+    from repro.logic.free_vars import substitute_term
+
+    return substitute_term(term, {var: replacement})
+
+
+def _replace_term_in_term(term: Term, old: Term, new: Term) -> Term:
+    from repro.logic.free_vars import replace_term_in_term
+
+    return replace_term_in_term(term, old, new)

@@ -1,0 +1,138 @@
+"""Left/right partitions of focused sequents.
+
+Both Δ0 interpolation (Theorem 4) and NRC parameter collection (Lemma 9)
+proceed by induction over a focused proof while maintaining a partition of the
+∈-context and of the right-hand formulas into a *left* part and a *right*
+part.  :class:`Partition` tracks the side of every formula of a sequent and
+knows how to propagate itself to the premises of each rule of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import InterpolationError
+from repro.logic.formulas import Formula, Member
+from repro.logic.free_vars import free_vars
+from repro.logic.terms import Var
+from repro.proofs.prooftree import ProofNode
+from repro.proofs.sequents import Sequent
+
+#: A side marker: "L" or "R".
+Side = str
+LEFT: Side = "L"
+RIGHT: Side = "R"
+
+
+@dataclass
+class Partition:
+    """Assignment of each Θ-atom and each Δ-formula of a sequent to a side."""
+
+    theta_sides: Dict[Member, Side] = field(default_factory=dict)
+    delta_sides: Dict[Formula, Side] = field(default_factory=dict)
+
+    @staticmethod
+    def of(
+        sequent: Sequent,
+        left_delta: Iterable[Formula] = (),
+        right_delta: Iterable[Formula] = (),
+        left_theta: Iterable[Member] = (),
+        right_theta: Iterable[Member] = (),
+        default: Side = RIGHT,
+    ) -> "Partition":
+        """Build a partition for ``sequent``; unlisted members get ``default``."""
+        partition = Partition()
+        left_delta = set(left_delta)
+        right_delta = set(right_delta)
+        left_theta = set(left_theta)
+        right_theta = set(right_theta)
+        for formula in sequent.delta:
+            if formula in left_delta:
+                partition.delta_sides[formula] = LEFT
+            elif formula in right_delta:
+                partition.delta_sides[formula] = RIGHT
+            else:
+                partition.delta_sides[formula] = default
+        for atom in sequent.theta:
+            if atom in left_theta:
+                partition.theta_sides[atom] = LEFT
+            elif atom in right_theta:
+                partition.theta_sides[atom] = RIGHT
+            else:
+                partition.theta_sides[atom] = default
+        return partition
+
+    # ----------------------------------------------------------- accessors
+    def copy(self) -> "Partition":
+        return Partition(dict(self.theta_sides), dict(self.delta_sides))
+
+    def side_of(self, formula: Formula) -> Side:
+        if formula in self.delta_sides:
+            return self.delta_sides[formula]
+        raise InterpolationError(f"formula {formula} has no assigned side")
+
+    def side_of_atom(self, atom: Member) -> Side:
+        if atom in self.theta_sides:
+            return self.theta_sides[atom]
+        raise InterpolationError(f"∈-atom {atom} has no assigned side")
+
+    def delta_on(self, side: Side) -> Tuple[Formula, ...]:
+        return tuple(f for f, s in self.delta_sides.items() if s == side)
+
+    def theta_on(self, side: Side) -> Tuple[Member, ...]:
+        return tuple(a for a, s in self.theta_sides.items() if s == side)
+
+    def vars_on(self, side: Side, extra: Iterable[Var] = ()) -> FrozenSet[Var]:
+        result: FrozenSet[Var] = frozenset(extra)
+        for formula in self.delta_on(side):
+            result |= free_vars(formula)
+        for atom in self.theta_on(side):
+            result |= free_vars(atom)
+        return result
+
+    def common_vars(self, extra_left: Iterable[Var] = (), extra_right: Iterable[Var] = ()) -> FrozenSet[Var]:
+        return self.vars_on(LEFT, extra_left) & self.vars_on(RIGHT, extra_right)
+
+    # ------------------------------------------------------------ updates
+    def for_premise(
+        self,
+        premise: Sequent,
+        replaced: Mapping[Formula, Side] = None,
+        replaced_theta: Mapping[Member, Side] = None,
+        default: Side = RIGHT,
+    ) -> "Partition":
+        """A partition for ``premise`` inheriting sides from this partition.
+
+        Formulas already known keep their side; ``replaced`` (and
+        ``replaced_theta``) supply sides for formulas introduced by the rule;
+        anything else (which should not normally happen) gets ``default``.
+        """
+        result = Partition()
+        replaced = dict(replaced or {})
+        replaced_theta = dict(replaced_theta or {})
+        for formula in premise.delta:
+            if formula in replaced:
+                result.delta_sides[formula] = replaced[formula]
+            elif formula in self.delta_sides:
+                result.delta_sides[formula] = self.delta_sides[formula]
+            else:
+                result.delta_sides[formula] = default
+        for atom in premise.theta:
+            if atom in replaced_theta:
+                result.theta_sides[atom] = replaced_theta[atom]
+            elif atom in self.theta_sides:
+                result.theta_sides[atom] = self.theta_sides[atom]
+            else:
+                result.theta_sides[atom] = default
+        return result
+
+    def remap(self, formula_map, atom_map) -> "Partition":
+        """A partition whose keys are transformed by the given mappings
+        (used by the ×η/×β substitution rules)."""
+        result = Partition()
+        for atom, side in self.theta_sides.items():
+            result.theta_sides[atom_map(atom)] = side
+        for formula, side in self.delta_sides.items():
+            result.delta_sides[formula_map(formula)] = side
+        return result

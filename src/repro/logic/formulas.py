@@ -1,0 +1,218 @@
+"""Δ0 and extended Δ0 formulas (Section 3 of the paper).
+
+Core Δ0 grammar::
+
+    φ, ψ ::= t =𝔘 t' | t ≠𝔘 t' | ⊤ | ⊥ | φ ∨ ψ | φ ∧ ψ
+           | ∀x ∈ t φ(x) | ∃x ∈ t φ(x)
+
+There is **no primitive negation** and **no equality/membership at higher
+types**; those are macros (see :mod:`repro.logic.macros`).  *Extended* Δ0
+formulas additionally allow membership literals ``t ∈ u`` / ``t ∉ u`` at every
+type — these appear in ∈-contexts of sequents.
+
+The focused calculus classifies formulas as *existential-leading* (EL) or
+*alternative-leading* (AL); only atoms are both (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import FormulaError
+from repro.logic.terms import Term, Var
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of (extended) Δ0 formulas."""
+
+
+@dataclass(frozen=True)
+class EqUr(Formula):
+    """Equality of Ur-elements ``left =𝔘 right``."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class NeqUr(Formula):
+    """Disequality of Ur-elements ``left ≠𝔘 right``."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true formula ⊤."""
+
+    def __str__(self) -> str:
+        return "T"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false formula ⊥."""
+
+    def __str__(self) -> str:
+        return "F"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Bounded universal quantification ``∀ var ∈ bound . body``."""
+
+    var: Var
+    bound: Term
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(all {self.var} in {self.bound}. {self.body})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Bounded existential quantification ``∃ var ∈ bound . body``."""
+
+    var: Var
+    bound: Term
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(ex {self.var} in {self.bound}. {self.body})"
+
+
+@dataclass(frozen=True)
+class Member(Formula):
+    """A primitive membership literal ``elem ∈ collection`` (extended Δ0 only)."""
+
+    elem: Term
+    collection: Term
+
+    def __str__(self) -> str:
+        return f"{self.elem} in {self.collection}"
+
+
+@dataclass(frozen=True)
+class NotMember(Formula):
+    """A primitive non-membership literal ``elem ∉ collection`` (extended Δ0)."""
+
+    elem: Term
+    collection: Term
+
+    def __str__(self) -> str:
+        return f"{self.elem} notin {self.collection}"
+
+
+def conj(formulas: Sequence[Formula]) -> Formula:
+    """Right-nested conjunction of a sequence (⊤ when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return Top()
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = And(formula, result)
+    return result
+
+
+def disj(formulas: Sequence[Formula]) -> Formula:
+    """Right-nested disjunction of a sequence (⊥ when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return Bottom()
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = Or(formula, result)
+    return result
+
+
+def is_delta0(formula: Formula) -> bool:
+    """True iff ``formula`` is core Δ0 (contains no membership literals)."""
+    if isinstance(formula, (EqUr, NeqUr, Top, Bottom)):
+        return True
+    if isinstance(formula, (Member, NotMember)):
+        return False
+    if isinstance(formula, (And, Or)):
+        return is_delta0(formula.left) and is_delta0(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return is_delta0(formula.body)
+    raise FormulaError(f"unknown formula {formula!r}")
+
+
+def is_atomic(formula: Formula) -> bool:
+    """True for Ur-equalities and disequalities (the atoms of the Δ0 grammar)."""
+    return isinstance(formula, (EqUr, NeqUr))
+
+
+def is_existential_leading(formula: Formula) -> bool:
+    """EL formulas: atoms and ∃-formulas (Section 4)."""
+    return isinstance(formula, (EqUr, NeqUr, Exists))
+
+
+def is_alternative_leading(formula: Formula) -> bool:
+    """AL formulas: atoms, ∧, ∨, ⊤, ⊥ and ∀-formulas (Section 4)."""
+    return isinstance(formula, (EqUr, NeqUr, And, Or, Top, Bottom, Forall))
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of connectives/atoms in ``formula`` (terms count as 1)."""
+    if isinstance(formula, (EqUr, NeqUr, Top, Bottom, Member, NotMember)):
+        return 1
+    if isinstance(formula, (And, Or)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return 1 + formula_size(formula.body)
+    raise FormulaError(f"unknown formula {formula!r}")
+
+
+def subformulas(formula: Formula) -> Iterable[Formula]:
+    """Yield all subformulas of ``formula`` (including itself), pre-order."""
+    yield formula
+    if isinstance(formula, (And, Or)):
+        yield from subformulas(formula.left)
+        yield from subformulas(formula.right)
+    elif isinstance(formula, (Forall, Exists)):
+        yield from subformulas(formula.body)
+
+
+def strip_exists_prefix(formula: Formula) -> tuple:
+    """Split ``∃x1∈b1 ... ∃xn∈bn. ψ`` into ``([(x1,b1),...,(xn,bn)], ψ)``.
+
+    Returns an empty prefix when the formula is not existential-leading.
+    """
+    prefix: List = []
+    current = formula
+    while isinstance(current, Exists):
+        prefix.append((current.var, current.bound))
+        current = current.body
+    return prefix, current

@@ -1,0 +1,207 @@
+"""Free variables, substitution and fresh-name generation for Δ0 syntax.
+
+Substitution is capture-avoiding: bound variables are renamed (with fresh
+names) whenever a substituted term would otherwise be captured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
+
+from repro.errors import FormulaError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Formula,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+)
+from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var, term_vars
+from repro.nr.types import Type
+
+
+def free_vars_term(term: Term) -> FrozenSet[Var]:
+    """Free variables of a term (all of its variables)."""
+    return term_vars(term)
+
+
+def free_vars(formula: Formula) -> FrozenSet[Var]:
+    """Free variables of an (extended) Δ0 formula."""
+    if isinstance(formula, (EqUr, NeqUr)):
+        return term_vars(formula.left) | term_vars(formula.right)
+    if isinstance(formula, (Member, NotMember)):
+        return term_vars(formula.elem) | term_vars(formula.collection)
+    if isinstance(formula, (Top, Bottom)):
+        return frozenset()
+    if isinstance(formula, (And, Or)):
+        return free_vars(formula.left) | free_vars(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return term_vars(formula.bound) | (free_vars(formula.body) - {formula.var})
+    raise FormulaError(f"unknown formula {formula!r}")
+
+
+class FreshNames:
+    """Deterministic fresh-name generator avoiding a growing set of names."""
+
+    def __init__(self, avoid: Iterable[str] = ()) -> None:
+        self._avoid: Set[str] = set(avoid)
+
+    def reserve(self, names: Iterable[str]) -> None:
+        self._avoid.update(names)
+
+    def fresh(self, base: str) -> str:
+        """A name based on ``base`` not seen before; the result is reserved."""
+        if base not in self._avoid:
+            self._avoid.add(base)
+            return base
+        for i in itertools.count(1):
+            candidate = f"{base}_{i}"
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+        raise RuntimeError("unreachable")
+
+    def fresh_var(self, base: str, typ: Type) -> Var:
+        return Var(self.fresh(base), typ)
+
+
+def fresh_var(base: str, typ: Type, avoid: Iterable[Var]) -> Var:
+    """A variable named after ``base`` whose name differs from all in ``avoid``."""
+    names = {v.name for v in avoid}
+    if base not in names:
+        return Var(base, typ)
+    for i in itertools.count(1):
+        candidate = f"{base}_{i}"
+        if candidate not in names:
+            return Var(candidate, typ)
+    raise RuntimeError("unreachable")
+
+
+def substitute_term(term: Term, mapping: Mapping[Var, Term]) -> Term:
+    """Apply a simultaneous variable → term substitution inside a term."""
+    if isinstance(term, Var):
+        return mapping.get(term, term)
+    if isinstance(term, UnitTerm):
+        return term
+    if isinstance(term, PairTerm):
+        return PairTerm(substitute_term(term.left, mapping), substitute_term(term.right, mapping))
+    if isinstance(term, Proj):
+        return Proj(term.index, substitute_term(term.arg, mapping))
+    raise FormulaError(f"unknown term {term!r}")
+
+
+def substitute_many(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
+    """Capture-avoiding simultaneous substitution in an (extended) Δ0 formula."""
+    mapping = {var: term for var, term in mapping.items() if var != term}
+    if not mapping:
+        return formula
+    if isinstance(formula, EqUr):
+        return EqUr(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
+    if isinstance(formula, NeqUr):
+        return NeqUr(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
+    if isinstance(formula, Member):
+        return Member(substitute_term(formula.elem, mapping), substitute_term(formula.collection, mapping))
+    if isinstance(formula, NotMember):
+        return NotMember(substitute_term(formula.elem, mapping), substitute_term(formula.collection, mapping))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, And):
+        return And(substitute_many(formula.left, mapping), substitute_many(formula.right, mapping))
+    if isinstance(formula, Or):
+        return Or(substitute_many(formula.left, mapping), substitute_many(formula.right, mapping))
+    if isinstance(formula, (Forall, Exists)):
+        constructor = Forall if isinstance(formula, Forall) else Exists
+        bound = substitute_term(formula.bound, mapping)
+        inner_mapping = {v: t for v, t in mapping.items() if v != formula.var}
+        # Rename the bound variable if it would capture a free variable of the
+        # substituted terms.
+        incoming_vars: Set[Var] = set()
+        for target in inner_mapping.values():
+            incoming_vars |= term_vars(target)
+        binder = formula.var
+        body = formula.body
+        if binder in incoming_vars:
+            avoid = set(incoming_vars) | free_vars(formula.body) | set(inner_mapping)
+            renamed = fresh_var(binder.name, binder.typ, avoid)
+            body = substitute_many(body, {binder: renamed})
+            binder = renamed
+        if not inner_mapping:
+            return constructor(binder, bound, body)
+        return constructor(binder, bound, substitute_many(body, inner_mapping))
+    raise FormulaError(f"unknown formula {formula!r}")
+
+
+def substitute(formula: Formula, var: Var, term: Term) -> Formula:
+    """Capture-avoiding substitution of ``term`` for ``var`` in ``formula``."""
+    return substitute_many(formula, {var: term})
+
+
+def rename_bound(formula: Formula, names: FreshNames) -> Formula:
+    """Alpha-rename every bound variable of ``formula`` to a globally fresh name."""
+    if isinstance(formula, (EqUr, NeqUr, Top, Bottom, Member, NotMember)):
+        return formula
+    if isinstance(formula, And):
+        return And(rename_bound(formula.left, names), rename_bound(formula.right, names))
+    if isinstance(formula, Or):
+        return Or(rename_bound(formula.left, names), rename_bound(formula.right, names))
+    if isinstance(formula, (Forall, Exists)):
+        constructor = Forall if isinstance(formula, Forall) else Exists
+        fresh = names.fresh_var(formula.var.name, formula.var.typ)
+        body = substitute(formula.body, formula.var, fresh)
+        return constructor(fresh, formula.bound, rename_bound(body, names))
+    raise FormulaError(f"unknown formula {formula!r}")
+
+
+def replace_term_in_term(term: Term, old: Term, new: Term) -> Term:
+    """Replace every occurrence of the subterm ``old`` in ``term`` by ``new``."""
+    if term == old:
+        return new
+    if isinstance(term, (Var, UnitTerm)):
+        return term
+    if isinstance(term, PairTerm):
+        return PairTerm(replace_term_in_term(term.left, old, new), replace_term_in_term(term.right, old, new))
+    if isinstance(term, Proj):
+        return Proj(term.index, replace_term_in_term(term.arg, old, new))
+    raise FormulaError(f"unknown term {term!r}")
+
+
+def replace_term(formula: Formula, old: Term, new: Term) -> Formula:
+    """Replace every occurrence of the term ``old`` in ``formula`` by ``new``.
+
+    This is the syntactic replacement used by the congruence rules
+    (Repl / ≠ / ×β / ×η); it does not rename binders, so callers must ensure
+    ``new`` is not captured (the calculus only replaces by fresh variables or
+    equal-sorted terms over the same free variables).
+    """
+    if isinstance(formula, EqUr):
+        return EqUr(replace_term_in_term(formula.left, old, new), replace_term_in_term(formula.right, old, new))
+    if isinstance(formula, NeqUr):
+        return NeqUr(replace_term_in_term(formula.left, old, new), replace_term_in_term(formula.right, old, new))
+    if isinstance(formula, Member):
+        return Member(replace_term_in_term(formula.elem, old, new), replace_term_in_term(formula.collection, old, new))
+    if isinstance(formula, NotMember):
+        return NotMember(replace_term_in_term(formula.elem, old, new), replace_term_in_term(formula.collection, old, new))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, And):
+        return And(replace_term(formula.left, old, new), replace_term(formula.right, old, new))
+    if isinstance(formula, Or):
+        return Or(replace_term(formula.left, old, new), replace_term(formula.right, old, new))
+    if isinstance(formula, (Forall, Exists)):
+        constructor = Forall if isinstance(formula, Forall) else Exists
+        if isinstance(old, Var) and formula.var == old:
+            # The binder shadows the replaced variable: only the bound term is affected.
+            return constructor(formula.var, replace_term_in_term(formula.bound, old, new), formula.body)
+        return constructor(
+            formula.var,
+            replace_term_in_term(formula.bound, old, new),
+            replace_term(formula.body, old, new),
+        )
+    raise FormulaError(f"unknown formula {formula!r}")

@@ -1,0 +1,92 @@
+"""Semantics of Δ0 formulas over nested relational values.
+
+An :class:`Assignment` maps variables to values; ``eval_formula`` evaluates an
+(extended) Δ0 formula under an assignment.  Because values are extensional,
+this is the "nested relation" semantics (|=nested) of the paper.  The
+non-extensional ("every model") semantics lives in
+:mod:`repro.logic.general_models`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import EvaluationError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Formula,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+)
+from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var
+from repro.nr.values import PairValue, SetValue, UnitValue, UrValue, Value
+
+#: A variable assignment.
+Assignment = Mapping[Var, Value]
+
+
+def eval_term(term: Term, env: Assignment) -> Value:
+    """Evaluate a Δ0 term under an assignment."""
+    if isinstance(term, Var):
+        try:
+            return env[term]
+        except KeyError as exc:
+            raise EvaluationError(f"unbound variable {term} : {term.typ}") from exc
+    if isinstance(term, UnitTerm):
+        return UnitValue()
+    if isinstance(term, PairTerm):
+        return PairValue(eval_term(term.left, env), eval_term(term.right, env))
+    if isinstance(term, Proj):
+        value = eval_term(term.arg, env)
+        if not isinstance(value, PairValue):
+            raise EvaluationError(f"projection of non-pair value {value}")
+        return value.first if term.index == 1 else value.second
+    raise EvaluationError(f"unknown term {term!r}")
+
+
+def eval_formula(formula: Formula, env: Assignment) -> bool:
+    """Evaluate an (extended) Δ0 formula under an assignment."""
+    if isinstance(formula, EqUr):
+        return eval_term(formula.left, env) == eval_term(formula.right, env)
+    if isinstance(formula, NeqUr):
+        return eval_term(formula.left, env) != eval_term(formula.right, env)
+    if isinstance(formula, Member):
+        collection = eval_term(formula.collection, env)
+        if not isinstance(collection, SetValue):
+            raise EvaluationError(f"membership in non-set value {collection}")
+        return eval_term(formula.elem, env) in collection.elements
+    if isinstance(formula, NotMember):
+        return not eval_formula(Member(formula.elem, formula.collection), env)
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, And):
+        return eval_formula(formula.left, env) and eval_formula(formula.right, env)
+    if isinstance(formula, Or):
+        return eval_formula(formula.left, env) or eval_formula(formula.right, env)
+    if isinstance(formula, (Forall, Exists)):
+        bound = eval_term(formula.bound, env)
+        if not isinstance(bound, SetValue):
+            raise EvaluationError(f"quantifier bound evaluated to non-set {bound}")
+        extended: Dict[Var, Value] = dict(env)
+        results = []
+        for element in bound.elements:
+            extended[formula.var] = element
+            results.append(eval_formula(formula.body, extended))
+        if isinstance(formula, Forall):
+            return all(results)
+        return any(results)
+    raise EvaluationError(f"unknown formula {formula!r}")
+
+
+def models(env: Assignment, *formulas: Formula) -> bool:
+    """True iff the assignment satisfies every formula."""
+    return all(eval_formula(formula, env) for formula in formulas)

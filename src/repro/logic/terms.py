@@ -1,0 +1,132 @@
+"""Terms of the Δ0 logic.
+
+Terms are built from typed variables using tupling and projections
+(Section 3)::
+
+    t, u ::= x | () | <t, u> | π1(t) | π2(t)
+
+Each variable carries its type, so terms are intrinsically typed and
+``term_type`` never needs an environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import ProdType, Type, UnitType, UNIT
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of Δ0 terms."""
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A typed variable."""
+
+    name: str
+    typ: Type
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnitTerm(Term):
+    """The unit term ``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class PairTerm(Term):
+    """A pair term ``<left, right>``."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"<{self.left}, {self.right}>"
+
+
+@dataclass(frozen=True)
+class Proj(Term):
+    """A projection ``π_index(arg)`` with ``index`` in {1, 2}."""
+
+    index: int
+    arg: Term
+
+    def __post_init__(self) -> None:
+        if self.index not in (1, 2):
+            raise TypeMismatchError(f"projection index must be 1 or 2, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"pi{self.index}({self.arg})"
+
+
+def proj1(term: Term) -> Proj:
+    """Shorthand for ``π1(term)``."""
+    return Proj(1, term)
+
+
+def proj2(term: Term) -> Proj:
+    """Shorthand for ``π2(term)``."""
+    return Proj(2, term)
+
+
+def term_type(term: Term) -> Type:
+    """The type of a term (raises ``TypeMismatchError`` if ill-typed)."""
+    if isinstance(term, Var):
+        return term.typ
+    if isinstance(term, UnitTerm):
+        return UNIT
+    if isinstance(term, PairTerm):
+        return ProdType(term_type(term.left), term_type(term.right))
+    if isinstance(term, Proj):
+        inner = term_type(term.arg)
+        if not isinstance(inner, ProdType):
+            raise TypeMismatchError(f"projection of non-product term {term.arg} : {inner}")
+        return inner.left if term.index == 1 else inner.right
+    raise TypeMismatchError(f"unknown term {term!r}")
+
+
+def term_vars(term: Term) -> FrozenSet[Var]:
+    """The set of variables occurring in ``term``."""
+    if isinstance(term, Var):
+        return frozenset({term})
+    if isinstance(term, UnitTerm):
+        return frozenset()
+    if isinstance(term, PairTerm):
+        return term_vars(term.left) | term_vars(term.right)
+    if isinstance(term, Proj):
+        return term_vars(term.arg)
+    raise TypeMismatchError(f"unknown term {term!r}")
+
+
+def term_size(term: Term) -> int:
+    """Number of constructors in ``term``."""
+    if isinstance(term, (Var, UnitTerm)):
+        return 1
+    if isinstance(term, PairTerm):
+        return 1 + term_size(term.left) + term_size(term.right)
+    if isinstance(term, Proj):
+        return 1 + term_size(term.arg)
+    raise TypeMismatchError(f"unknown term {term!r}")
+
+
+def beta_normalize_term(term: Term) -> Term:
+    """Simplify projections applied to explicit pairs: ``πi(<t1,t2>) → ti``."""
+    if isinstance(term, (Var, UnitTerm)):
+        return term
+    if isinstance(term, PairTerm):
+        return PairTerm(beta_normalize_term(term.left), beta_normalize_term(term.right))
+    if isinstance(term, Proj):
+        arg = beta_normalize_term(term.arg)
+        if isinstance(arg, PairTerm):
+            return arg.left if term.index == 1 else arg.right
+        return Proj(term.index, arg)
+    raise TypeMismatchError(f"unknown term {term!r}")

@@ -1,0 +1,67 @@
+"""Well-typedness checking for Δ0 terms and formulas."""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError, TypeMismatchError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Formula,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+)
+from repro.logic.terms import Term, term_type
+from repro.nr.types import SetType, Type, UrType
+
+
+def check_term(term: Term) -> Type:
+    """Return the type of ``term``; raise ``TypeMismatchError`` if ill-typed."""
+    return term_type(term)
+
+
+def check_formula(formula: Formula, allow_membership: bool = True) -> None:
+    """Check that ``formula`` is well typed.
+
+    With ``allow_membership=False`` the formula must be core Δ0 (no primitive
+    membership literals).  Raises on any violation.
+    """
+    if isinstance(formula, (EqUr, NeqUr)):
+        left = check_term(formula.left)
+        right = check_term(formula.right)
+        if not isinstance(left, UrType) or not isinstance(right, UrType):
+            raise TypeMismatchError(
+                f"(dis)equality only at sort Ur, got {left} and {right} in {formula}"
+            )
+        return
+    if isinstance(formula, (Member, NotMember)):
+        if not allow_membership:
+            raise FormulaError(f"membership literal {formula} not allowed in core Δ0")
+        coll = check_term(formula.collection)
+        elem = check_term(formula.elem)
+        if not isinstance(coll, SetType) or coll.elem != elem:
+            raise TypeMismatchError(f"ill-typed membership literal {formula}")
+        return
+    if isinstance(formula, (Top, Bottom)):
+        return
+    if isinstance(formula, (And, Or)):
+        check_formula(formula.left, allow_membership)
+        check_formula(formula.right, allow_membership)
+        return
+    if isinstance(formula, (Forall, Exists)):
+        bound = check_term(formula.bound)
+        if not isinstance(bound, SetType):
+            raise TypeMismatchError(f"quantifier bound {formula.bound} has non-set type {bound}")
+        if bound.elem != formula.var.typ:
+            raise TypeMismatchError(
+                f"quantified variable {formula.var} : {formula.var.typ} does not match bound "
+                f"element type {bound.elem}"
+            )
+        check_formula(formula.body, allow_membership)
+        return
+    raise FormulaError(f"unknown formula {formula!r}")

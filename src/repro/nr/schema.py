@@ -1,0 +1,102 @@
+"""Nested relational schemas and instances.
+
+A *schema* declares a finite set of named objects with nested relational
+types; an *instance* assigns to each declared name a value of the declared
+type (Section 3, Example 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import SchemaError
+from repro.nr.types import Type
+from repro.nr.values import Value, value_type_check
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A mapping from object names to nested relational types."""
+
+    declarations: Tuple[Tuple[str, Type], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[str, Type]) -> "Schema":
+        """Build a schema from a name → type mapping (order preserved)."""
+        return Schema(tuple(mapping.items()))
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.declarations]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate declaration in schema: {names}")
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.declarations)
+
+    def type_of(self, name: str) -> Type:
+        for declared, typ in self.declarations:
+            if declared == name:
+                return typ
+        raise SchemaError(f"schema has no declaration for {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(declared == name for declared, _ in self.declarations)
+
+    def __iter__(self) -> Iterator[Tuple[str, Type]]:
+        return iter(self.declarations)
+
+    def restrict(self, names) -> "Schema":
+        """The sub-schema containing only the given names."""
+        wanted = set(names)
+        return Schema(tuple((n, t) for n, t in self.declarations if n in wanted))
+
+    def extend(self, name: str, typ: Type) -> "Schema":
+        """A new schema with one extra declaration."""
+        if name in self:
+            raise SchemaError(f"{name!r} already declared")
+        return Schema(self.declarations + ((name, typ),))
+
+    def __str__(self) -> str:
+        return ", ".join(f"{name} : {typ}" for name, typ in self.declarations)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An assignment of values to the names of a schema."""
+
+    schema: Schema
+    assignment: Tuple[Tuple[str, Value], ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def of(schema: Schema, mapping: Mapping[str, Value]) -> "Instance":
+        """Build and validate an instance from a name → value mapping."""
+        missing = set(schema.names()) - set(mapping)
+        if missing:
+            raise SchemaError(f"instance missing values for {sorted(missing)}")
+        extra = set(mapping) - set(schema.names())
+        if extra:
+            raise SchemaError(f"instance assigns undeclared names {sorted(extra)}")
+        assignment = tuple((name, mapping[name]) for name in schema.names())
+        instance = Instance(schema, assignment)
+        instance.validate()
+        return instance
+
+    def validate(self) -> None:
+        """Raise ``SchemaError`` if some value does not match its declared type."""
+        for name, value in self.assignment:
+            typ = self.schema.type_of(name)
+            if not value_type_check(value, typ):
+                raise SchemaError(f"value for {name!r} does not have type {typ}")
+
+    def value_of(self, name: str) -> Value:
+        for declared, value in self.assignment:
+            if declared == name:
+                return value
+        raise SchemaError(f"instance has no value for {name!r}")
+
+    def as_dict(self) -> Dict[str, Value]:
+        return dict(self.assignment)
+
+    def __str__(self) -> str:
+        return "; ".join(f"{name} = {value}" for name, value in self.assignment)

@@ -1,0 +1,150 @@
+"""Nested relational types.
+
+The type grammar of the paper (Section 3)::
+
+    T, U ::=  𝔘  |  T × U  |  Unit  |  Set(T)
+
+* ``UrType``    — the scalars ("Ur-elements"); only equality is available.
+* ``UnitType``  — the one-element type, used to build Booleans.
+* ``ProdType``  — binary products; n-ary tuples are right-nested binary pairs.
+* ``SetType``   — finite sets of elements of the member type.
+
+``Bool`` is the derived type ``Set(Unit)`` with exactly two inhabitants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of nested relational types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def is_set(self) -> bool:
+        return isinstance(self, SetType)
+
+    def is_prod(self) -> bool:
+        return isinstance(self, ProdType)
+
+    def is_ur(self) -> bool:
+        return isinstance(self, UrType)
+
+    def is_unit(self) -> bool:
+        return isinstance(self, UnitType)
+
+
+@dataclass(frozen=True)
+class UnitType(Type):
+    """The one-element type ``Unit``."""
+
+    def __str__(self) -> str:
+        return "Unit"
+
+
+@dataclass(frozen=True)
+class UrType(Type):
+    """The type 𝔘 of Ur-elements (scalars)."""
+
+    def __str__(self) -> str:
+        return "Ur"
+
+
+@dataclass(frozen=True)
+class ProdType(Type):
+    """A binary product type ``left × right``."""
+
+    left: Type
+    right: Type
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """The type ``Set(elem)`` of finite sets over ``elem``."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"Set({self.elem})"
+
+
+#: Shared singletons for the two base types.
+UNIT = UnitType()
+UR = UrType()
+#: Booleans are encoded as ``Set(Unit)`` (Section 3).
+BOOL = SetType(UNIT)
+
+
+def prod(left: Type, right: Type) -> ProdType:
+    """Build a binary product type."""
+    return ProdType(left, right)
+
+
+def set_of(elem: Type) -> SetType:
+    """Build a set type."""
+    return SetType(elem)
+
+
+def tuple_type(*components: Type) -> Type:
+    """Build an n-ary product, right-nested: ``tuple_type(a, b, c) = a × (b × c)``.
+
+    With zero components this is ``Unit``; with one it is that component.
+    """
+    if not components:
+        return UNIT
+    if len(components) == 1:
+        return components[0]
+    return ProdType(components[0], tuple_type(*components[1:]))
+
+
+def type_depth(typ: Type) -> int:
+    """Set-nesting depth of a type (``Ur``/``Unit`` have depth 0)."""
+    if isinstance(typ, (UrType, UnitType)):
+        return 0
+    if isinstance(typ, ProdType):
+        return max(type_depth(typ.left), type_depth(typ.right))
+    if isinstance(typ, SetType):
+        return 1 + type_depth(typ.elem)
+    raise TypeError(f"unknown type {typ!r}")
+
+
+def type_size(typ: Type) -> int:
+    """Number of type constructors in ``typ``."""
+    if isinstance(typ, (UrType, UnitType)):
+        return 1
+    if isinstance(typ, ProdType):
+        return 1 + type_size(typ.left) + type_size(typ.right)
+    if isinstance(typ, SetType):
+        return 1 + type_size(typ.elem)
+    raise TypeError(f"unknown type {typ!r}")
+
+
+def subtypes(typ: Type) -> Iterator[Type]:
+    """Yield every subtype of ``typ`` (including ``typ`` itself), pre-order."""
+    yield typ
+    if isinstance(typ, ProdType):
+        yield from subtypes(typ.left)
+        yield from subtypes(typ.right)
+    elif isinstance(typ, SetType):
+        yield from subtypes(typ.elem)
+
+
+def tuple_components(typ: Type, arity: int) -> Tuple[Type, ...]:
+    """Decompose a right-nested product into ``arity`` components.
+
+    Inverse of :func:`tuple_type` for a fixed arity.
+    """
+    if arity <= 0:
+        raise ValueError("arity must be positive")
+    if arity == 1:
+        return (typ,)
+    if not isinstance(typ, ProdType):
+        raise TypeError(f"cannot split {typ} into {arity} components")
+    return (typ.left,) + tuple_components(typ.right, arity - 1)

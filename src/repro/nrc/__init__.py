@@ -1,0 +1,99 @@
+"""Nested Relational Calculus (NRC) — syntax, typing, evaluation and macros.
+
+This implements the query language of Figure 1 of the paper (including
+``get``), its semantics over nested relational values, and the macro layer the
+paper relies on: Booleans, equality and membership at every type, conditionals,
+Δ0-comprehension and composition.
+"""
+
+from repro.nrc.expr import (
+    NRCExpr,
+    NVar,
+    NUnit,
+    NPair,
+    NProj,
+    NSingleton,
+    NGet,
+    NBigUnion,
+    NEmpty,
+    NUnion,
+    NDiff,
+    expr_size,
+    subexpressions,
+)
+from repro.nrc.typing import infer_type, check_expr
+from repro.nrc.eval import eval_nrc, NRCEnv
+from repro.nrc.compose import nrc_free_vars, nrc_substitute, compose
+from repro.nrc.macros import (
+    true_expr,
+    false_expr,
+    not_expr,
+    and_expr,
+    or_expr,
+    nonempty,
+    is_empty,
+    intersect,
+    eq_expr,
+    member_expr,
+    subset_expr,
+    cond_set,
+    cond,
+    singleton_map,
+    comprehension,
+    delta0_to_bool,
+    term_to_nrc,
+    pair_with,
+    big_union,
+    tuple_expr,
+    tuple_proj,
+    atoms_expr,
+)
+from repro.nrc.printer import pretty
+from repro.nrc.simplify import simplify
+
+__all__ = [
+    "NRCExpr",
+    "NVar",
+    "NUnit",
+    "NPair",
+    "NProj",
+    "NSingleton",
+    "NGet",
+    "NBigUnion",
+    "NEmpty",
+    "NUnion",
+    "NDiff",
+    "expr_size",
+    "subexpressions",
+    "infer_type",
+    "check_expr",
+    "eval_nrc",
+    "NRCEnv",
+    "nrc_free_vars",
+    "nrc_substitute",
+    "compose",
+    "true_expr",
+    "false_expr",
+    "not_expr",
+    "and_expr",
+    "or_expr",
+    "nonempty",
+    "is_empty",
+    "intersect",
+    "eq_expr",
+    "member_expr",
+    "subset_expr",
+    "cond_set",
+    "cond",
+    "singleton_map",
+    "comprehension",
+    "delta0_to_bool",
+    "term_to_nrc",
+    "pair_with",
+    "big_union",
+    "tuple_expr",
+    "tuple_proj",
+    "atoms_expr",
+    "pretty",
+    "simplify",
+]

@@ -1,0 +1,89 @@
+"""Evaluation of NRC expressions over nested relational values.
+
+``get`` on a non-singleton returns the default value of the element type
+(Section 3 of the paper: "otherwise it returns some default object of the
+appropriate type").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import EvaluationError
+from repro.nr.types import SetType
+from repro.nr.values import PairValue, SetValue, UnitValue, Value, default_value
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NRCExpr,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+)
+from repro.nrc.typing import infer_type
+
+#: Environment binding NRC variables (by the ``NVar`` object) to values.
+NRCEnv = Mapping[NVar, Value]
+
+
+def eval_nrc(expr: NRCExpr, env: NRCEnv) -> Value:
+    """Evaluate ``expr`` under the environment ``env``."""
+    if isinstance(expr, NVar):
+        try:
+            return env[expr]
+        except KeyError as exc:
+            raise EvaluationError(f"unbound NRC variable {expr} : {expr.typ}") from exc
+    if isinstance(expr, NUnit):
+        return UnitValue()
+    if isinstance(expr, NPair):
+        return PairValue(eval_nrc(expr.left, env), eval_nrc(expr.right, env))
+    if isinstance(expr, NProj):
+        value = eval_nrc(expr.arg, env)
+        if not isinstance(value, PairValue):
+            raise EvaluationError(f"projection of non-pair value {value}")
+        return value.first if expr.index == 1 else value.second
+    if isinstance(expr, NSingleton):
+        return SetValue(frozenset({eval_nrc(expr.arg, env)}))
+    if isinstance(expr, NGet):
+        value = eval_nrc(expr.arg, env)
+        if not isinstance(value, SetValue):
+            raise EvaluationError(f"get of non-set value {value}")
+        if len(value.elements) == 1:
+            return next(iter(value.elements))
+        arg_type = infer_type(expr.arg)
+        if not isinstance(arg_type, SetType):
+            raise EvaluationError(f"get of non-set-typed expression {expr.arg}")
+        return default_value(arg_type.elem)
+    if isinstance(expr, NBigUnion):
+        source = eval_nrc(expr.source, env)
+        if not isinstance(source, SetValue):
+            raise EvaluationError(f"union-bind over non-set value {source}")
+        accumulated = set()
+        extended: Dict[NVar, Value] = dict(env)
+        for element in source.elements:
+            extended[expr.var] = element
+            body_value = eval_nrc(expr.body, extended)
+            if not isinstance(body_value, SetValue):
+                raise EvaluationError(f"union-bind body evaluated to non-set {body_value}")
+            accumulated.update(body_value.elements)
+        return SetValue(frozenset(accumulated))
+    if isinstance(expr, NEmpty):
+        return SetValue(frozenset())
+    if isinstance(expr, NUnion):
+        left = eval_nrc(expr.left, env)
+        right = eval_nrc(expr.right, env)
+        if not isinstance(left, SetValue) or not isinstance(right, SetValue):
+            raise EvaluationError("union of non-set values")
+        return SetValue(left.elements | right.elements)
+    if isinstance(expr, NDiff):
+        left = eval_nrc(expr.left, env)
+        right = eval_nrc(expr.right, env)
+        if not isinstance(left, SetValue) or not isinstance(right, SetValue):
+            raise EvaluationError("difference of non-set values")
+        return SetValue(left.elements - right.elements)
+    raise EvaluationError(f"unknown NRC expression {expr!r}")

@@ -1,0 +1,159 @@
+"""NRC expression syntax (Figure 1 of the paper).
+
+::
+
+    E, E' ::= x | () | <E, E'> | π1(E) | π2(E)          (variables, tupling)
+            | {E} | get_T(E) | ⋃{E | x ∈ E'}            (nesting, get, union-bind)
+            | ∅_T | E ∪ E' | E \\ E'                     (empty, union, difference)
+
+Expressions are immutable dataclasses; variables carry their types, so type
+inference (:mod:`repro.nrc.typing`) needs no environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import Type
+
+
+@dataclass(frozen=True)
+class NRCExpr:
+    """Base class of NRC expressions."""
+
+
+@dataclass(frozen=True)
+class NVar(NRCExpr):
+    """A typed input (free) variable."""
+
+    name: str
+    typ: Type
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NUnit(NRCExpr):
+    """The unit expression ``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class NPair(NRCExpr):
+    """Pairing ``<left, right>``."""
+
+    left: NRCExpr
+    right: NRCExpr
+
+    def __str__(self) -> str:
+        return f"<{self.left}, {self.right}>"
+
+
+@dataclass(frozen=True)
+class NProj(NRCExpr):
+    """Projection ``π_index(arg)`` with index in {1, 2}."""
+
+    index: int
+    arg: NRCExpr
+
+    def __post_init__(self) -> None:
+        if self.index not in (1, 2):
+            raise TypeMismatchError(f"projection index must be 1 or 2, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"pi{self.index}({self.arg})"
+
+
+@dataclass(frozen=True)
+class NSingleton(NRCExpr):
+    """Singleton set ``{arg}``."""
+
+    arg: NRCExpr
+
+    def __str__(self) -> str:
+        return f"{{{self.arg}}}"
+
+
+@dataclass(frozen=True)
+class NGet(NRCExpr):
+    """``get_T``: extract the unique element of a singleton set (default otherwise)."""
+
+    arg: NRCExpr
+
+    def __str__(self) -> str:
+        return f"get({self.arg})"
+
+
+@dataclass(frozen=True)
+class NBigUnion(NRCExpr):
+    """Binding union ``⋃{ body | var ∈ source }``; ``var`` is bound in ``body``."""
+
+    body: NRCExpr
+    var: "NVar"
+    source: NRCExpr
+
+    def __str__(self) -> str:
+        return f"U{{{self.body} | {self.var} in {self.source}}}"
+
+
+@dataclass(frozen=True)
+class NEmpty(NRCExpr):
+    """The empty set ``∅`` of element type ``elem_type``."""
+
+    elem_type: Type
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class NUnion(NRCExpr):
+    """Binary set union."""
+
+    left: NRCExpr
+    right: NRCExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} u {self.right})"
+
+
+@dataclass(frozen=True)
+class NDiff(NRCExpr):
+    """Set difference ``left \\ right``."""
+
+    left: NRCExpr
+    right: NRCExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} \\ {self.right})"
+
+
+def expr_size(expr: NRCExpr) -> int:
+    """Number of constructors in ``expr``."""
+    if isinstance(expr, (NVar, NUnit, NEmpty)):
+        return 1
+    if isinstance(expr, (NPair, NUnion, NDiff)):
+        return 1 + expr_size(expr.left) + expr_size(expr.right)
+    if isinstance(expr, (NProj, NSingleton, NGet)):
+        return 1 + expr_size(expr.arg)
+    if isinstance(expr, NBigUnion):
+        return 1 + expr_size(expr.body) + expr_size(expr.source)
+    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+
+
+def subexpressions(expr: NRCExpr) -> Iterator[NRCExpr]:
+    """Yield every subexpression of ``expr`` (including itself), pre-order."""
+    yield expr
+    if isinstance(expr, (NPair, NUnion, NDiff)):
+        yield from subexpressions(expr.left)
+        yield from subexpressions(expr.right)
+    elif isinstance(expr, (NProj, NSingleton, NGet)):
+        yield from subexpressions(expr.arg)
+    elif isinstance(expr, NBigUnion):
+        yield from subexpressions(expr.body)
+        yield from subexpressions(expr.source)

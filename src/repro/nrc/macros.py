@@ -1,0 +1,316 @@
+"""The NRC macro library used throughout the paper (Section 3).
+
+Booleans are values of type ``Bool = Set(Unit)``: true is ``{()}`` and false
+is ``∅``.  On top of the core syntax we derive:
+
+* Boolean connectives, emptiness / non-emptiness tests;
+* equality ``=_T`` and membership ``∈_T`` at every type;
+* conditionals at set type and (via ``get``) at every type;
+* Δ0-comprehension ``{z ∈ E | φ(z)}`` for any Δ0 formula φ;
+* mapping, tupling, and the "all Ur-atoms below the inputs" expression used in
+  the base case of Theorem 10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.errors import SynthesisError, TypeMismatchError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Formula,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+)
+from repro.logic.macros import negate
+from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var
+from repro.nr.types import BOOL, ProdType, SetType, Type, UnitType, UrType, UNIT
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NRCExpr,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+)
+from repro.nrc.compose import nrc_free_vars
+from repro.nrc.typing import infer_type
+
+_FRESH_COUNTER = [0]
+
+
+def _fresh(base: str, typ: Type, *exprs: NRCExpr) -> NVar:
+    """A variable not free in any of ``exprs`` (deterministic counter-based)."""
+    used = set()
+    for expr in exprs:
+        used |= {v.name for v in nrc_free_vars(expr)}
+    if base not in used:
+        return NVar(base, typ)
+    i = 0
+    while True:
+        i += 1
+        candidate = f"{base}{i}"
+        if candidate not in used:
+            return NVar(candidate, typ)
+
+
+def true_expr() -> NRCExpr:
+    """The Boolean ``true``: ``{()}``."""
+    return NSingleton(NUnit())
+
+
+def false_expr() -> NRCExpr:
+    """The Boolean ``false``: ``∅_Unit``."""
+    return NEmpty(UNIT)
+
+
+def nonempty(expr: NRCExpr) -> NRCExpr:
+    """Boolean test ``expr ≠ ∅`` for a set-typed expression."""
+    typ = infer_type(expr)
+    if not isinstance(typ, SetType):
+        raise TypeMismatchError(f"nonempty applied to non-set expression of type {typ}")
+    var = _fresh("ne", typ.elem, expr)
+    return NBigUnion(true_expr(), var, expr)
+
+
+def is_empty(expr: NRCExpr) -> NRCExpr:
+    """Boolean test ``expr = ∅``."""
+    return not_expr(nonempty(expr))
+
+
+def not_expr(boolean: NRCExpr) -> NRCExpr:
+    """Boolean negation."""
+    return NDiff(true_expr(), boolean)
+
+
+def and_expr(left: NRCExpr, right: NRCExpr) -> NRCExpr:
+    """Boolean conjunction: ``⋃{ right | _ ∈ left }``."""
+    var = _fresh("ca", UNIT, left, right)
+    return NBigUnion(right, var, left)
+
+
+def or_expr(left: NRCExpr, right: NRCExpr) -> NRCExpr:
+    """Boolean disjunction: union of Booleans."""
+    return NUnion(left, right)
+
+
+def intersect(left: NRCExpr, right: NRCExpr) -> NRCExpr:
+    """Set intersection ``left ∩ right = left \\ (left \\ right)``."""
+    return NDiff(left, NDiff(left, right))
+
+
+def eq_expr(left: NRCExpr, right: NRCExpr) -> NRCExpr:
+    """Equality ``=_T`` at any type, returning a Boolean.
+
+    Uses the singleton/difference encoding: ``{l} \\ {r}`` and ``{r} \\ {l}``
+    are both empty exactly when the two values coincide.
+    """
+    if infer_type(left) != infer_type(right):
+        raise TypeMismatchError(
+            f"eq_expr operands have different types: {infer_type(left)} vs {infer_type(right)}"
+        )
+    return and_expr(
+        is_empty(NDiff(NSingleton(left), NSingleton(right))),
+        is_empty(NDiff(NSingleton(right), NSingleton(left))),
+    )
+
+
+def member_expr(elem: NRCExpr, collection: NRCExpr) -> NRCExpr:
+    """Membership ``∈_T`` returning a Boolean."""
+    coll_type = infer_type(collection)
+    if not isinstance(coll_type, SetType) or coll_type.elem != infer_type(elem):
+        raise TypeMismatchError(
+            f"member_expr: element type {infer_type(elem)} vs collection type {coll_type}"
+        )
+    return nonempty(intersect(NSingleton(elem), collection))
+
+
+def subset_expr(left: NRCExpr, right: NRCExpr) -> NRCExpr:
+    """Inclusion test returning a Boolean."""
+    return is_empty(NDiff(left, right))
+
+
+def cond_set(condition: NRCExpr, then_branch: NRCExpr, else_branch: NRCExpr) -> NRCExpr:
+    """Conditional for *set-typed* branches: ``if condition then then_branch else else_branch``."""
+    then_type = infer_type(then_branch)
+    else_type = infer_type(else_branch)
+    if then_type != else_type or not isinstance(then_type, SetType):
+        raise TypeMismatchError(
+            f"cond_set branches must share a set type, got {then_type} and {else_type}"
+        )
+    var_then = _fresh("ct", UNIT, condition, then_branch, else_branch)
+    var_else = _fresh("ce", UNIT, condition, then_branch, else_branch)
+    return NUnion(
+        NBigUnion(then_branch, var_then, condition),
+        NBigUnion(else_branch, var_else, not_expr(condition)),
+    )
+
+
+def cond(condition: NRCExpr, then_branch: NRCExpr, else_branch: NRCExpr) -> NRCExpr:
+    """Conditional at an arbitrary type (uses ``get`` on a singleton)."""
+    then_type = infer_type(then_branch)
+    if then_type != infer_type(else_branch):
+        raise TypeMismatchError("cond branches must have the same type")
+    if isinstance(then_type, SetType):
+        return cond_set(condition, then_branch, else_branch)
+    return NGet(cond_set(condition, NSingleton(then_branch), NSingleton(else_branch)))
+
+
+def big_union(body: NRCExpr, var: NVar, source: NRCExpr) -> NRCExpr:
+    """Convenience constructor for ``⋃{ body | var ∈ source }``."""
+    return NBigUnion(body, var, source)
+
+
+def singleton_map(function: Callable[[NRCExpr], NRCExpr], source: NRCExpr) -> NRCExpr:
+    """``{ f(x) | x ∈ source }`` — map ``function`` over a set."""
+    typ = infer_type(source)
+    if not isinstance(typ, SetType):
+        raise TypeMismatchError(f"singleton_map over non-set type {typ}")
+    var = _fresh("m", typ.elem, source)
+    return NBigUnion(NSingleton(function(var)), var, source)
+
+
+def pair_with(left: NRCExpr, source: NRCExpr) -> NRCExpr:
+    """``{ <left, x> | x ∈ source }``."""
+    return singleton_map(lambda x: NPair(left, x), source)
+
+
+def tuple_expr(*components: NRCExpr) -> NRCExpr:
+    """Right-nested tuple expression mirroring ``tuple_type``."""
+    if not components:
+        return NUnit()
+    if len(components) == 1:
+        return components[0]
+    return NPair(components[0], tuple_expr(*components[1:]))
+
+
+def tuple_proj(expr: NRCExpr, index: int, arity: int) -> NRCExpr:
+    """Projection of the ``index``-th component (1-based) of an ``arity``-tuple."""
+    if not 1 <= index <= arity:
+        raise TypeMismatchError(f"tuple_proj index {index} out of range for arity {arity}")
+    if arity == 1:
+        return expr
+    if index == 1:
+        return NProj(1, expr)
+    return tuple_proj(NProj(2, expr), index - 1, arity - 1)
+
+
+def term_to_nrc(term: Term, mapping: Optional[Mapping[Var, NRCExpr]] = None) -> NRCExpr:
+    """Translate a Δ0 term into an NRC expression.
+
+    Logic variables become NRC variables of the same name/type unless a
+    ``mapping`` entry overrides them.
+    """
+    mapping = mapping or {}
+    if isinstance(term, Var):
+        if term in mapping:
+            return mapping[term]
+        return NVar(term.name, term.typ)
+    if isinstance(term, UnitTerm):
+        return NUnit()
+    if isinstance(term, PairTerm):
+        return NPair(term_to_nrc(term.left, mapping), term_to_nrc(term.right, mapping))
+    if isinstance(term, Proj):
+        return NProj(term.index, term_to_nrc(term.arg, mapping))
+    raise TypeMismatchError(f"unknown term {term!r}")
+
+
+def delta0_to_bool(formula: Formula, mapping: Optional[Mapping[Var, NRCExpr]] = None) -> NRCExpr:
+    """Translate an (extended) Δ0 formula into a Boolean NRC expression.
+
+    Quantifiers become unions of Booleans; membership literals use the
+    ``∈_T`` macro.  This realizes the paper's claim that NRC is closed under
+    Δ0 comprehension.
+    """
+    mapping = mapping or {}
+    if isinstance(formula, EqUr):
+        return eq_expr(term_to_nrc(formula.left, mapping), term_to_nrc(formula.right, mapping))
+    if isinstance(formula, NeqUr):
+        return not_expr(eq_expr(term_to_nrc(formula.left, mapping), term_to_nrc(formula.right, mapping)))
+    if isinstance(formula, Member):
+        return member_expr(term_to_nrc(formula.elem, mapping), term_to_nrc(formula.collection, mapping))
+    if isinstance(formula, NotMember):
+        return not_expr(
+            member_expr(term_to_nrc(formula.elem, mapping), term_to_nrc(formula.collection, mapping))
+        )
+    if isinstance(formula, Top):
+        return true_expr()
+    if isinstance(formula, Bottom):
+        return false_expr()
+    if isinstance(formula, And):
+        return and_expr(delta0_to_bool(formula.left, mapping), delta0_to_bool(formula.right, mapping))
+    if isinstance(formula, Or):
+        return or_expr(delta0_to_bool(formula.left, mapping), delta0_to_bool(formula.right, mapping))
+    if isinstance(formula, Exists):
+        source = term_to_nrc(formula.bound, mapping)
+        bound_var = NVar(formula.var.name, formula.var.typ)
+        inner_mapping = dict(mapping)
+        inner_mapping[formula.var] = bound_var
+        return NBigUnion(delta0_to_bool(formula.body, inner_mapping), bound_var, source)
+    if isinstance(formula, Forall):
+        return not_expr(delta0_to_bool(negate(formula), mapping))
+    raise TypeMismatchError(f"unknown formula {formula!r}")
+
+
+def comprehension(
+    source: NRCExpr,
+    var: NVar,
+    formula: Formula,
+    mapping: Optional[Mapping[Var, NRCExpr]] = None,
+) -> NRCExpr:
+    """Δ0-comprehension ``{ var ∈ source | formula }``.
+
+    ``formula`` is a Δ0 formula whose free logic variable named like ``var``
+    refers to the comprehension element; other free variables are resolved via
+    ``mapping`` (or become NRC variables of the same name).
+    """
+    source_type = infer_type(source)
+    if not isinstance(source_type, SetType) or source_type.elem != var.typ:
+        raise TypeMismatchError(
+            f"comprehension variable {var} : {var.typ} does not match source {source_type}"
+        )
+    inner_mapping = dict(mapping or {})
+    inner_mapping[Var(var.name, var.typ)] = var
+    predicate = delta0_to_bool(formula, inner_mapping)
+    return NBigUnion(cond_set(predicate, NSingleton(var), NEmpty(var.typ)), var, source)
+
+
+def atoms_expr(inputs: Sequence[NRCExpr]) -> NRCExpr:
+    """An NRC expression of type ``Set(Ur)`` collecting every Ur-element
+    (hereditarily) contained in the given input expressions.
+
+    This is the "transitive closure of the inputs" expression used in the base
+    case of Theorem 10.
+    """
+    if not inputs:
+        return NEmpty(UrType())
+    parts = [_atoms_of(expr, infer_type(expr)) for expr in inputs]
+    result = parts[0]
+    for part in parts[1:]:
+        result = NUnion(result, part)
+    return result
+
+
+def _atoms_of(expr: NRCExpr, typ: Type) -> NRCExpr:
+    if isinstance(typ, UrType):
+        return NSingleton(expr)
+    if isinstance(typ, UnitType):
+        return NEmpty(UrType())
+    if isinstance(typ, ProdType):
+        return NUnion(_atoms_of(NProj(1, expr), typ.left), _atoms_of(NProj(2, expr), typ.right))
+    if isinstance(typ, SetType):
+        var = _fresh("a", typ.elem, expr)
+        return NBigUnion(_atoms_of(var, typ.elem), var, expr)
+    raise TypeMismatchError(f"unknown type {typ!r}")

@@ -1,0 +1,66 @@
+"""Pretty-printing of NRC expressions.
+
+``pretty`` renders an expression as indented multi-line text (useful for
+inspecting synthesized definitions, which can be large before
+simplification); ``str(expr)`` remains the compact single-line form.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeMismatchError
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NRCExpr,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+)
+
+_INDENT = "  "
+
+
+def pretty(expr: NRCExpr, max_width: int = 72) -> str:
+    """Render ``expr``; short subexpressions stay on a single line."""
+    return _render(expr, 0, max_width)
+
+
+def _render(expr: NRCExpr, depth: int, max_width: int) -> str:
+    compact = str(expr)
+    if len(compact) + depth * len(_INDENT) <= max_width:
+        return _INDENT * depth + compact
+    pad = _INDENT * depth
+    if isinstance(expr, (NVar, NUnit, NEmpty)):
+        return pad + compact
+    if isinstance(expr, NPair):
+        return (
+            pad + "<\n" + _render(expr.left, depth + 1, max_width) + ",\n"
+            + _render(expr.right, depth + 1, max_width) + "\n" + pad + ">"
+        )
+    if isinstance(expr, NProj):
+        return pad + f"pi{expr.index}(\n" + _render(expr.arg, depth + 1, max_width) + "\n" + pad + ")"
+    if isinstance(expr, NSingleton):
+        return pad + "{\n" + _render(expr.arg, depth + 1, max_width) + "\n" + pad + "}"
+    if isinstance(expr, NGet):
+        return pad + "get(\n" + _render(expr.arg, depth + 1, max_width) + "\n" + pad + ")"
+    if isinstance(expr, NBigUnion):
+        return (
+            pad + "U{\n" + _render(expr.body, depth + 1, max_width) + "\n"
+            + pad + f"| {expr.var} in\n" + _render(expr.source, depth + 1, max_width) + "\n" + pad + "}"
+        )
+    if isinstance(expr, NUnion):
+        return (
+            pad + "(\n" + _render(expr.left, depth + 1, max_width) + "\n" + pad + "u\n"
+            + _render(expr.right, depth + 1, max_width) + "\n" + pad + ")"
+        )
+    if isinstance(expr, NDiff):
+        return (
+            pad + "(\n" + _render(expr.left, depth + 1, max_width) + "\n" + pad + "\\\n"
+            + _render(expr.right, depth + 1, max_width) + "\n" + pad + ")"
+        )
+    raise TypeMismatchError(f"unknown NRC expression {expr!r}")

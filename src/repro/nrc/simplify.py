@@ -1,0 +1,113 @@
+"""Algebraic simplification of NRC expressions.
+
+Synthesized definitions (Section 6) contain many vacuous unions with ∅,
+comprehensions over singletons and similar redundancies.  ``simplify`` applies
+a terminating set of semantics-preserving rewrite rules bottom-up until a
+fixpoint is reached.  Every rule preserves the evaluation semantics of
+:mod:`repro.nrc.eval` (tested in ``tests/test_nrc_simplify.py``, including a
+hypothesis property test).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import SetType
+from repro.nrc.compose import nrc_free_vars, nrc_substitute
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NRCExpr,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+    expr_size,
+)
+from repro.nrc.typing import infer_type
+
+
+def simplify(expr: NRCExpr, max_rounds: int = 50) -> NRCExpr:
+    """Simplify ``expr`` by repeated bottom-up rewriting (semantics-preserving)."""
+    current = expr
+    for _ in range(max_rounds):
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return current
+        current = simplified
+    return current
+
+
+def _simplify_once(expr: NRCExpr) -> NRCExpr:
+    expr = _map_children(expr, _simplify_once)
+    return _rewrite(expr)
+
+
+def _map_children(expr: NRCExpr, fn) -> NRCExpr:
+    if isinstance(expr, (NVar, NUnit, NEmpty)):
+        return expr
+    if isinstance(expr, NPair):
+        return NPair(fn(expr.left), fn(expr.right))
+    if isinstance(expr, NUnion):
+        return NUnion(fn(expr.left), fn(expr.right))
+    if isinstance(expr, NDiff):
+        return NDiff(fn(expr.left), fn(expr.right))
+    if isinstance(expr, NProj):
+        return NProj(expr.index, fn(expr.arg))
+    if isinstance(expr, NSingleton):
+        return NSingleton(fn(expr.arg))
+    if isinstance(expr, NGet):
+        return NGet(fn(expr.arg))
+    if isinstance(expr, NBigUnion):
+        return NBigUnion(fn(expr.body), expr.var, fn(expr.source))
+    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+
+
+def _empty_of(expr: NRCExpr) -> NEmpty:
+    typ = infer_type(expr)
+    if not isinstance(typ, SetType):
+        raise TypeMismatchError(f"expected a set-typed expression, got {typ}")
+    return NEmpty(typ.elem)
+
+
+def _rewrite(expr: NRCExpr) -> NRCExpr:
+    if isinstance(expr, NProj) and isinstance(expr.arg, NPair):
+        return expr.arg.left if expr.index == 1 else expr.arg.right
+    if isinstance(expr, NGet) and isinstance(expr.arg, NSingleton):
+        return expr.arg.arg
+    if isinstance(expr, NUnion):
+        if isinstance(expr.left, NEmpty):
+            return expr.right
+        if isinstance(expr.right, NEmpty):
+            return expr.left
+        if expr.left == expr.right:
+            return expr.left
+    if isinstance(expr, NDiff):
+        if isinstance(expr.left, NEmpty):
+            return expr.left
+        if isinstance(expr.right, NEmpty):
+            return expr.left
+        if expr.left == expr.right:
+            return _empty_of(expr.left)
+    if isinstance(expr, NBigUnion):
+        # U{ body | x in {} }  ->  {}
+        if isinstance(expr.source, NEmpty):
+            return _empty_of(expr)
+        # U{ {} | x in src }  ->  {}
+        if isinstance(expr.body, NEmpty):
+            return NEmpty(expr.body.elem_type)
+        # U{ body | x in {e} }  ->  body[e/x]
+        if isinstance(expr.source, NSingleton):
+            return nrc_substitute(expr.body, {expr.var: expr.source.arg})
+        # U{ {x} | x in src }  ->  src
+        if isinstance(expr.body, NSingleton) and expr.body.arg == expr.var:
+            return expr.source
+        # body does not use the bound variable and source is the Boolean true {()}
+        if expr.var not in nrc_free_vars(expr.body) and isinstance(expr.source, NSingleton):
+            return expr.body
+        # U{ U{ body | y in inner } | x in src } with x not free in body:
+        # no simplification here (kept explicit to avoid capture subtleties).
+    return expr

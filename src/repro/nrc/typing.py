@@ -1,0 +1,72 @@
+"""Type inference and checking for NRC expressions."""
+
+from __future__ import annotations
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import ProdType, SetType, Type, UnitType, UNIT
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NRCExpr,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+)
+
+
+def infer_type(expr: NRCExpr) -> Type:
+    """Infer the output type of ``expr``; raise ``TypeMismatchError`` if ill-typed."""
+    if isinstance(expr, NVar):
+        return expr.typ
+    if isinstance(expr, NUnit):
+        return UNIT
+    if isinstance(expr, NPair):
+        return ProdType(infer_type(expr.left), infer_type(expr.right))
+    if isinstance(expr, NProj):
+        inner = infer_type(expr.arg)
+        if not isinstance(inner, ProdType):
+            raise TypeMismatchError(f"projection of non-product expression {expr.arg} : {inner}")
+        return inner.left if expr.index == 1 else inner.right
+    if isinstance(expr, NSingleton):
+        return SetType(infer_type(expr.arg))
+    if isinstance(expr, NGet):
+        inner = infer_type(expr.arg)
+        if not isinstance(inner, SetType):
+            raise TypeMismatchError(f"get of non-set expression {expr.arg} : {inner}")
+        return inner.elem
+    if isinstance(expr, NBigUnion):
+        source_type = infer_type(expr.source)
+        if not isinstance(source_type, SetType):
+            raise TypeMismatchError(f"union-bind over non-set source {expr.source} : {source_type}")
+        if source_type.elem != expr.var.typ:
+            raise TypeMismatchError(
+                f"union-bind variable {expr.var} : {expr.var.typ} does not match source element "
+                f"type {source_type.elem}"
+            )
+        body_type = infer_type(expr.body)
+        if not isinstance(body_type, SetType):
+            raise TypeMismatchError(f"union-bind body must have set type, got {body_type}")
+        return body_type
+    if isinstance(expr, NEmpty):
+        return SetType(expr.elem_type)
+    if isinstance(expr, (NUnion, NDiff)):
+        left = infer_type(expr.left)
+        right = infer_type(expr.right)
+        if not isinstance(left, SetType) or left != right:
+            raise TypeMismatchError(
+                f"union/difference operands must have the same set type, got {left} and {right}"
+            )
+        return left
+    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+
+
+def check_expr(expr: NRCExpr, expected: Type) -> None:
+    """Check that ``expr`` has type ``expected``."""
+    actual = infer_type(expr)
+    if actual != expected:
+        raise TypeMismatchError(f"expression has type {actual}, expected {expected}")

@@ -1,0 +1,32 @@
+"""Proof systems for Δ0 formulas (Section 4 of the paper).
+
+* :mod:`repro.proofs.sequents`   — ∈-contexts and one-sided sequents.
+* :mod:`repro.proofs.prooftree`  — proof trees with rule metadata.
+* :mod:`repro.proofs.focused`    — the focused calculus of Figure 3
+  (rule constructors that validate every application).
+* :mod:`repro.proofs.checker`    — independent re-validation of proof trees.
+* :mod:`repro.proofs.admissible` — admissible-rule proof transformers (Appendix F.1).
+* :mod:`repro.proofs.search`     — bounded focused proof search.
+"""
+
+from repro.proofs.sequents import Sequent, sequent_free_vars, all_el, negate_all
+from repro.proofs.prooftree import ProofNode, proof_size, proof_depth, rules_used
+from repro.proofs import focused
+from repro.proofs.checker import check_proof
+from repro.proofs.search import ProofSearch, prove_sequent, prove_entailment
+
+__all__ = [
+    "Sequent",
+    "sequent_free_vars",
+    "all_el",
+    "negate_all",
+    "ProofNode",
+    "proof_size",
+    "proof_depth",
+    "rules_used",
+    "focused",
+    "check_proof",
+    "ProofSearch",
+    "prove_sequent",
+    "prove_entailment",
+]

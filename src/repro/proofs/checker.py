@@ -1,0 +1,84 @@
+"""Independent validation of focused proof trees.
+
+``check_proof`` re-validates every node of a proof tree against the rules of
+Figure 3 (plus the structural ``weaken`` rule) using the rule constructors of
+:mod:`repro.proofs.focused`; the constructors recompute the expected premise
+sequents from the conclusion and the recorded rule parameters, so a proof
+cannot pass the checker unless every inference is a genuine rule instance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProofError, RuleApplicationError
+from repro.proofs import focused
+from repro.proofs.prooftree import ProofNode
+
+
+def check_proof(node: ProofNode) -> None:
+    """Recursively validate ``node``; raise :class:`ProofError` on any violation."""
+    for premise in node.premises:
+        check_proof(premise)
+    try:
+        _check_node(node)
+    except RuleApplicationError as exc:
+        raise ProofError(f"invalid application of rule {node.rule!r}: {exc}") from exc
+    except KeyError as exc:
+        raise ProofError(f"rule {node.rule!r} is missing metadata entry {exc}") from exc
+
+
+def is_valid_proof(node: ProofNode) -> bool:
+    """Boolean convenience wrapper around :func:`check_proof`."""
+    try:
+        check_proof(node)
+    except ProofError:
+        return False
+    return True
+
+
+def _check_node(node: ProofNode) -> None:
+    rule = node.rule
+    meta = node.meta
+    if rule == "eq":
+        _expect_premises(node, 0)
+        focused.make_eq_axiom(node.sequent, meta["principal"])
+    elif rule == "top":
+        _expect_premises(node, 0)
+        focused.make_top_axiom(node.sequent)
+    elif rule == "neq":
+        _expect_premises(node, 1)
+        focused.make_neq(node.sequent, meta["neq"], meta["source"], meta["target"], node.premises[0])
+    elif rule == "and":
+        _expect_premises(node, 2)
+        focused.make_and(node.sequent, meta["principal"], node.premises[0], node.premises[1])
+    elif rule == "or":
+        _expect_premises(node, 1)
+        focused.make_or(node.sequent, meta["principal"], node.premises[0])
+    elif rule == "forall":
+        _expect_premises(node, 1)
+        focused.make_forall(node.sequent, meta["principal"], meta["fresh"], node.premises[0])
+    elif rule == "exists":
+        _expect_premises(node, 1)
+        focused.make_exists(
+            node.sequent,
+            meta["principal"],
+            meta["witnesses"],
+            node.premises[0],
+            require_maximal=not meta.get("partial", False),
+        )
+    elif rule == "prod_eta":
+        _expect_premises(node, 1)
+        fresh1, fresh2 = meta["fresh"]
+        focused.make_prod_eta(node.sequent, meta["var"], fresh1, fresh2, node.premises[0])
+    elif rule == "prod_beta":
+        _expect_premises(node, 1)
+        focused.make_prod_beta(node.sequent, meta["pair"], meta["index"], node.premises[0])
+    elif rule == "weaken":
+        _expect_premises(node, 1)
+        focused.make_weaken(node.sequent, node.premises[0])
+    else:
+        raise ProofError(f"unknown rule name {rule!r}")
+
+
+def _expect_premises(node: ProofNode, count: int) -> None:
+    if len(node.premises) != count:
+        raise ProofError(f"rule {node.rule!r} expects {count} premises, got {len(node.premises)}")

@@ -1,0 +1,13 @@
+"""Implicit specifications, determinacy problems and the paper's worked examples."""
+
+from repro.specs.problems import ImplicitDefinitionProblem, ViewRewritingProblem
+from repro.specs import examples
+from repro.specs.io_spec import io_specification, is_composition_free
+
+__all__ = [
+    "ImplicitDefinitionProblem",
+    "ViewRewritingProblem",
+    "examples",
+    "io_specification",
+    "is_composition_free",
+]

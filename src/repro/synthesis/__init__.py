@@ -1,0 +1,23 @@
+"""Proof-directed synthesis of explicit NRC definitions (Sections 5–6).
+
+* :mod:`repro.synthesis.collect_answers`      — Theorem 10 ("answer collection").
+* :mod:`repro.synthesis.parameter_collection` — Theorem 8 / Lemma 9.
+* :mod:`repro.synthesis.implicit_to_explicit` — Theorem 2, the main algorithm.
+* :mod:`repro.synthesis.view_rewriting`       — Corollary 3 (views and queries).
+* :mod:`repro.synthesis.verification`         — semantic validation helpers.
+"""
+
+from repro.synthesis.implicit_to_explicit import SynthesisResult, synthesize
+from repro.synthesis.collect_answers import collect_answers
+from repro.synthesis.view_rewriting import rewrite_query_over_views, view_rewriting_problem_to_implicit
+from repro.synthesis.verification import check_explicit_definition, check_view_rewriting
+
+__all__ = [
+    "SynthesisResult",
+    "synthesize",
+    "collect_answers",
+    "rewrite_query_over_views",
+    "view_rewriting_problem_to_implicit",
+    "check_explicit_definition",
+    "check_view_rewriting",
+]

@@ -1,0 +1,103 @@
+"""Answer collection — Theorem 10.
+
+Given a focused proof of
+
+    Θ(ī, ā, r);  φ(ī, ā, r), ψ(ī, b̄, o′)  ⊢  ∃ r′ ∈_p o′ . r ≡_T r′
+
+produce an NRC expression ``E(ī)`` such that every model of the hypotheses
+satisfies ``r ∈ E(ī)``.  The construction is by induction on the type ``T``:
+
+* ``Unit`` / ``𝔘``   — ``E`` is the singleton unit / the set of all Ur-atoms
+  hereditarily contained in the inputs (the "transitive closure of ī").
+* products          — project the conjunction under the existential block
+  (an admissible transformation) and combine the component answers with a
+  Cartesian product.
+* sets              — use Lemma 6 to descend to members, recurse, then use
+  Lemma 7 + the NRC Parameter Collection theorem to assemble candidate sets
+  (implemented in :mod:`repro.synthesis.parameter_collection` /
+  :mod:`repro.proofs.equiv_lemmas`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.logic.formulas import And, Exists, Formula
+from repro.logic.terms import Proj, Term, Var, term_type
+from repro.nr.types import ProdType, SetType, Type, UnitType, UrType
+from repro.nrc.expr import NBigUnion, NPair, NRCExpr, NSingleton, NUnit, NVar
+from repro.nrc.macros import atoms_expr
+from repro.proofs.admissible import exists_conjunct_projection
+from repro.proofs.prooftree import ProofNode
+
+
+def collect_answers(
+    proof: ProofNode,
+    target: Exists,
+    lhs: Term,
+    inputs: Sequence[Var],
+    left_formulas: Sequence[Formula] = (),
+    right_formulas: Sequence[Formula] = (),
+) -> NRCExpr:
+    """Theorem 10: an NRC expression over ``inputs`` whose value contains ``lhs``.
+
+    ``target`` is the existential conclusion formula (``∃r′∈_p o′. lhs ≡ r′``)
+    as it occurs in the proof's conclusion; ``left_formulas`` /
+    ``right_formulas`` are the (negated) specification copies, used when the
+    set case delegates to parameter collection.
+    """
+    if target not in proof.sequent.delta:
+        raise SynthesisError(f"the target formula is not part of the proof conclusion: {target}")
+    return _collect(proof, target, lhs, tuple(inputs), tuple(left_formulas), tuple(right_formulas))
+
+
+def _collect(
+    proof: ProofNode,
+    target: Exists,
+    lhs: Term,
+    inputs: Tuple[Var, ...],
+    left_formulas: Tuple[Formula, ...],
+    right_formulas: Tuple[Formula, ...],
+) -> NRCExpr:
+    typ = term_type(lhs)
+    nrc_inputs = [NVar(v.name, v.typ) for v in inputs]
+    if isinstance(typ, UnitType):
+        return NSingleton(NUnit())
+    if isinstance(typ, UrType):
+        return atoms_expr(nrc_inputs)
+    if isinstance(typ, ProdType):
+        first_proof = exists_conjunct_projection(proof, target, 1)
+        second_proof = exists_conjunct_projection(proof, target, 2)
+        first_target = _projected_target(target, 1)
+        second_target = _projected_target(target, 2)
+        first = _collect(first_proof, first_target, Proj(1, lhs), inputs, left_formulas, right_formulas)
+        second = _collect(second_proof, second_target, Proj(2, lhs), inputs, left_formulas, right_formulas)
+        return _cartesian(first, second, typ)
+    if isinstance(typ, SetType):
+        from repro.synthesis.parameter_collection import collect_set_answers
+
+        return collect_set_answers(proof, target, lhs, inputs, left_formulas, right_formulas)
+    raise SynthesisError(f"unsupported output type {typ}")
+
+
+def _projected_target(target: Exists, which: int) -> Exists:
+    current: Formula = target
+    prefix = []
+    while isinstance(current, Exists):
+        prefix.append((current.var, current.bound))
+        current = current.body
+    if not isinstance(current, And):
+        raise SynthesisError(f"expected a conjunction under the existential block, got {current}")
+    body = current.left if which == 1 else current.right
+    for var, bound in reversed(prefix):
+        body = Exists(var, bound, body)
+    return body
+
+
+def _cartesian(first: NRCExpr, second: NRCExpr, typ: ProdType) -> NRCExpr:
+    """``{ <x, y> | x ∈ first, y ∈ second }``."""
+    x = NVar("cx", typ.left)
+    y = NVar("cy", typ.right)
+    inner = NBigUnion(NSingleton(NPair(x, y)), y, second)
+    return NBigUnion(inner, x, first)

@@ -1,0 +1,224 @@
+"""Implicit-to-explicit synthesis — Theorem 2 (and Appendix G for non-set types).
+
+``synthesize`` takes an :class:`ImplicitDefinitionProblem` together with a
+focused proof of its determinacy sequent
+
+    φ(ī, ā, o) ∧ φ(ī, ā′, o′)  ⊢  o ≡ o′
+
+(or finds one with the bundled proof search) and produces an NRC expression
+``E(ī)`` that explicitly defines ``o``: for every nested relational model of
+``φ``, ``E(ī) = o``.
+
+The algorithm follows the paper:
+
+* set-typed outputs — invert the conclusion (Lemmas 13/14) to obtain a proof
+  of ``r ∈ o; φ, φ′ ⊢ ∃r′∈o′. r ≡ r′``; apply Theorem 10 to obtain a superset
+  expression; interpolate (Theorem 4) to obtain the membership test ``κ(ī, r)``
+  and return ``{x ∈ E(ī) | κ(ī, x)}``;
+* Ur-typed outputs — interpolate directly and select the unique atom with
+  ``get`` (Appendix G);
+* product outputs — synthesize each component and pair the results
+  (Appendix G; the component witnesses are re-derived with the proof-search
+  substrate, see DESIGN.md §5);
+* ``Unit`` outputs — the constant ``()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ProofSearchError, SynthesisError
+from repro.interpolation.delta0 import interpolate
+from repro.interpolation.partition import LEFT, RIGHT, Partition
+from repro.logic.formulas import And, Exists, Forall, Formula, Member
+from repro.logic.free_vars import fresh_var, substitute
+from repro.logic.macros import negate
+from repro.logic.terms import PairTerm, Var
+from repro.nr.types import ProdType, SetType, UnitType, UrType
+from repro.nrc.expr import NGet, NPair, NRCExpr, NUnit, NVar
+from repro.nrc.macros import atoms_expr, comprehension
+from repro.nrc.simplify import simplify
+from repro.proofs.admissible import and_inversion, forall_inversion
+from repro.proofs.checker import check_proof
+from repro.proofs.prooftree import ProofNode, proof_size
+from repro.proofs.search import ProofSearch
+from repro.specs.problems import ImplicitDefinitionProblem
+
+
+@dataclass
+class SynthesisResult:
+    """The synthesized explicit definition plus provenance information."""
+
+    problem: ImplicitDefinitionProblem
+    expression: NRCExpr
+    proof: ProofNode
+    interpolant: Optional[Formula] = None
+    raw_expression: Optional[NRCExpr] = None
+
+    @property
+    def proof_size(self) -> int:
+        return proof_size(self.proof)
+
+
+def synthesize(
+    problem: ImplicitDefinitionProblem,
+    proof: Optional[ProofNode] = None,
+    search: Optional[ProofSearch] = None,
+    simplify_output: bool = True,
+    validate_proof: bool = True,
+) -> SynthesisResult:
+    """Compute an explicit NRC definition of the problem's output variable.
+
+    ``proof`` must be a focused proof of ``problem.determinacy_goal()``; when
+    omitted, the bundled proof search is used to find one.
+    """
+    if proof is None:
+        search = search or ProofSearch()
+        try:
+            proof = search.prove(problem.determinacy_goal())
+        except ProofSearchError as exc:
+            raise SynthesisError(
+                f"no determinacy witness found for {problem.name!r}; "
+                "supply a proof explicitly or increase the search budget"
+            ) from exc
+    if validate_proof:
+        check_proof(proof)
+        if proof.sequent != problem.determinacy_goal():
+            raise SynthesisError("the supplied proof does not prove the determinacy sequent")
+
+    expression, interpolant = _synthesize_typed(problem, proof, search)
+    raw = expression
+    if simplify_output:
+        expression = simplify(expression)
+    return SynthesisResult(problem, expression, proof, interpolant, raw)
+
+
+# --------------------------------------------------------------------------
+def _synthesize_typed(
+    problem: ImplicitDefinitionProblem, proof: ProofNode, search: Optional[ProofSearch]
+) -> Tuple[NRCExpr, Optional[Formula]]:
+    output = problem.output
+    typ = output.typ
+    if isinstance(typ, UnitType):
+        return NUnit(), None
+    if isinstance(typ, UrType):
+        return _synthesize_ur(problem, proof)
+    if isinstance(typ, ProdType):
+        return _synthesize_product(problem, search), None
+    if isinstance(typ, SetType):
+        return _synthesize_set(problem, proof)
+    raise SynthesisError(f"unsupported output type {typ}")
+
+
+def _determinacy_parts(problem: ImplicitDefinitionProblem) -> Tuple[Formula, Formula, Formula, Var]:
+    phi, primed_phi, goal = problem.determinacy_hypotheses()
+    primed_output = Var(problem.output.name + "_p", problem.output.typ)
+    return phi, primed_phi, goal, primed_output
+
+
+# ------------------------------------------------------------------ Ur case
+def _synthesize_ur(problem: ImplicitDefinitionProblem, proof: ProofNode) -> Tuple[NRCExpr, Formula]:
+    phi, primed_phi, goal, _ = _determinacy_parts(problem)
+    partition = Partition.of(proof.sequent, left_delta=[negate(phi)], right_delta=[negate(primed_phi), goal])
+    theta = interpolate(proof, partition)
+    candidate = fresh_var("cand", problem.output.typ, [problem.output, *problem.inputs, *problem.auxiliaries])
+    predicate = substitute(theta, problem.output, candidate)
+    domain = atoms_expr([NVar(v.name, v.typ) for v in problem.inputs])
+    selected = comprehension(domain, NVar(candidate.name, candidate.typ), predicate)
+    return NGet(selected), theta
+
+
+# ------------------------------------------------------------------ set case
+def _synthesize_set(problem: ImplicitDefinitionProblem, proof: ProofNode) -> Tuple[NRCExpr, Formula]:
+    from repro.synthesis.collect_answers import collect_answers
+
+    phi, primed_phi, goal, primed_output = _determinacy_parts(problem)
+    if not isinstance(goal, And):
+        raise SynthesisError("the set-typed determinacy goal must be a conjunction of inclusions")
+    subset = goal.left  # o ⊆ o'
+    if not isinstance(subset, Forall):
+        raise SynthesisError("unexpected shape of the inclusion o ⊆ o'")
+
+    # Lemma 13 (∧ inversion): a proof of  ⊢ ¬φ, ¬φ', o ⊆ o'.
+    subset_proof = and_inversion(proof, goal, 1)
+    # Lemma 14 (∀ inversion): a proof of  r ∈ o ; φ, φ' ⊢ r ∈̂ o'.
+    avoid = {problem.output, primed_output, *problem.inputs, *problem.auxiliaries}
+    member = fresh_var("r_elem", subset.var.typ, avoid)
+    member_proof = forall_inversion(subset_proof, subset, member)
+    target = substitute(subset.body, subset.var, member)
+    if not isinstance(target, Exists):
+        raise SynthesisError(f"expected an existential membership target, got {target}")
+
+    # Theorem 10: a superset expression E(ī) with  r ∈ E(ī).
+    superset = collect_answers(
+        member_proof,
+        target,
+        member,
+        problem.inputs,
+        left_formulas=(negate(phi),),
+        right_formulas=(negate(primed_phi),),
+    )
+
+    # Theorem 4: the membership test κ(ī, r).
+    partition = Partition.of(
+        member_proof.sequent,
+        left_delta=[negate(phi)],
+        right_delta=[negate(primed_phi), target],
+        left_theta=[Member(member, problem.output)],
+    )
+    kappa = interpolate(member_proof, partition)
+
+    candidate = NVar(member.name, member.typ)
+    filtered = comprehension(superset, candidate, kappa)
+    return filtered, kappa
+
+
+# -------------------------------------------------------------- product case
+def _synthesize_product(problem: ImplicitDefinitionProblem, search: Optional[ProofSearch]) -> NRCExpr:
+    """Appendix G, product outputs: synthesize each component separately.
+
+    The paper derives the component witnesses from the given proof via
+    substitutivity (Lemma 16), ∧-inversion and the ×β rule; we re-derive them
+    with the proof-search substrate instead (see DESIGN.md §5) and synthesize
+    each component recursively.
+    """
+    output = problem.output
+    typ: ProdType = output.typ  # type: ignore[assignment]
+    first = Var(output.name + "_1", typ.left)
+    second = Var(output.name + "_2", typ.right)
+    substituted = _beta_normalize_formula(substitute(problem.phi, output, PairTerm(first, second)))
+    components = []
+    for component, other in ((first, second), (second, first)):
+        sub_problem = ImplicitDefinitionProblem(
+            name=f"{problem.name}_{component.name}",
+            phi=substituted,
+            inputs=problem.inputs,
+            output=component,
+            auxiliaries=tuple(problem.auxiliaries) + (other,),
+        )
+        result = synthesize(sub_problem, search=search)
+        components.append(result.expression)
+    return NPair(components[0], components[1])
+
+
+def _beta_normalize_formula(formula: Formula) -> Formula:
+    """Normalize ``πi(<t1,t2>)`` redexes introduced by the product-case substitution."""
+    from repro.logic.formulas import And as FAnd, Bottom, EqUr as FEq, Exists as FEx, Forall as FFa, NeqUr as FNeq, Or as FOr, Top as FTop
+    from repro.logic.terms import beta_normalize_term
+
+    if isinstance(formula, FEq):
+        return FEq(beta_normalize_term(formula.left), beta_normalize_term(formula.right))
+    if isinstance(formula, FNeq):
+        return FNeq(beta_normalize_term(formula.left), beta_normalize_term(formula.right))
+    if isinstance(formula, (FTop, Bottom)):
+        return formula
+    if isinstance(formula, FAnd):
+        return FAnd(_beta_normalize_formula(formula.left), _beta_normalize_formula(formula.right))
+    if isinstance(formula, FOr):
+        return FOr(_beta_normalize_formula(formula.left), _beta_normalize_formula(formula.right))
+    if isinstance(formula, FFa):
+        return FFa(formula.var, beta_normalize_term(formula.bound), _beta_normalize_formula(formula.body))
+    if isinstance(formula, FEx):
+        return FEx(formula.var, beta_normalize_term(formula.bound), _beta_normalize_formula(formula.body))
+    return formula

@@ -1,0 +1,75 @@
+"""Semantic validation of synthesized definitions.
+
+The synthesizer's guarantees are proof-theoretic; these helpers double-check
+them semantically on concrete instances (used pervasively by the test-suite
+and the benchmark harness): for every satisfying assignment of the
+specification, the synthesized expression evaluated on the inputs must equal
+the output value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.logic.semantics import eval_formula
+from repro.logic.terms import Var
+from repro.nr.values import Value
+from repro.nrc.eval import eval_nrc
+from repro.nrc.expr import NRCExpr, NVar
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of checking a definition against a batch of instances."""
+
+    checked: int
+    satisfying: int
+    mismatches: List[Mapping[Var, Value]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_explicit_definition(
+    problem,
+    expression: NRCExpr,
+    assignments: Sequence[Mapping[Var, Value]],
+) -> VerificationReport:
+    """Check ``expression`` explicitly defines the problem's output on the given assignments."""
+    mismatches: List[Mapping[Var, Value]] = []
+    satisfying = 0
+    for assignment in assignments:
+        if not eval_formula(problem.phi, assignment):
+            continue
+        satisfying += 1
+        env = {NVar(v.name, v.typ): assignment[v] for v in problem.inputs}
+        produced = eval_nrc(expression, env)
+        if produced != assignment[problem.output]:
+            mismatches.append(assignment)
+    return VerificationReport(len(assignments), satisfying, mismatches)
+
+
+def check_view_rewriting(
+    base_vars: Sequence[Var],
+    views: Sequence[Tuple[str, NRCExpr]],
+    query: NRCExpr,
+    rewriting: NRCExpr,
+    base_instances: Sequence[Mapping[Var, Value]],
+) -> VerificationReport:
+    """Check a rewriting: evaluating it on the view outputs reproduces the query output."""
+    mismatches: List[Mapping[Var, Value]] = []
+    for instance in base_instances:
+        base_env = {NVar(v.name, v.typ): instance[v] for v in base_vars}
+        view_env = {}
+        for name, view_expr in views:
+            value = eval_nrc(view_expr, base_env)
+            from repro.nrc.typing import infer_type
+
+            view_env[NVar(name, infer_type(view_expr))] = value
+        expected = eval_nrc(query, base_env)
+        produced = eval_nrc(rewriting, view_env)
+        if produced != expected:
+            mismatches.append(instance)
+    return VerificationReport(len(base_instances), len(base_instances), mismatches)

@@ -1,0 +1,56 @@
+"""Rewriting NRC queries over NRC views — Corollary 3.
+
+A :class:`~repro.specs.problems.ViewRewritingProblem` gives NRC views and an
+NRC query over shared base data (plus optional Δ0 integrity constraints).
+Conjoining the input–output specifications of the views and the query
+(Appendix B) yields a Δ0 specification ``Σ_{V̄,Q}``; a proof that it implicitly
+defines ``Q`` in terms of the view variables is a *determinacy witness*, and
+Theorem 2 applied to it produces an NRC rewriting of the query over the views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.logic.formulas import Formula, conj
+from repro.logic.terms import Var
+from repro.nrc.typing import infer_type
+from repro.proofs.prooftree import ProofNode
+from repro.proofs.search import ProofSearch
+from repro.specs.io_spec import io_specification
+from repro.specs.problems import ImplicitDefinitionProblem, ViewRewritingProblem
+from repro.synthesis.implicit_to_explicit import SynthesisResult, synthesize
+
+
+def view_rewriting_problem_to_implicit(problem: ViewRewritingProblem) -> ImplicitDefinitionProblem:
+    """Lower a view-rewriting problem to an implicit-definition problem (Σ_{V̄,Q})."""
+    view_vars = []
+    conjuncts = []
+    for name, view_expr in problem.views:
+        view_var = Var(name, infer_type(view_expr))
+        view_vars.append(view_var)
+        conjuncts.append(io_specification(view_expr, view_var))
+    query_var = Var(problem.query_name, infer_type(problem.query))
+    conjuncts.append(io_specification(problem.query, query_var))
+    conjuncts.extend(problem.constraints)
+    phi = conj(conjuncts)
+    return ImplicitDefinitionProblem(
+        name=f"{problem.name}_determinacy",
+        phi=phi,
+        inputs=tuple(view_vars),
+        output=query_var,
+        auxiliaries=tuple(problem.base),
+    )
+
+
+def rewrite_query_over_views(
+    problem: ViewRewritingProblem,
+    proof: Optional[ProofNode] = None,
+    search: Optional[ProofSearch] = None,
+    simplify_output: bool = True,
+) -> Tuple[SynthesisResult, ImplicitDefinitionProblem]:
+    """Produce an NRC rewriting of the query in terms of the views (Corollary 3)."""
+    implicit = view_rewriting_problem_to_implicit(problem)
+    result = synthesize(implicit, proof=proof, search=search, simplify_output=simplify_output)
+    return result, implicit

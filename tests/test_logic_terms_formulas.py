@@ -1,0 +1,138 @@
+"""Unit tests for Δ0 terms and formulas."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+    conj,
+    disj,
+    formula_size,
+    is_alternative_leading,
+    is_atomic,
+    is_delta0,
+    is_existential_leading,
+    strip_exists_prefix,
+    subformulas,
+)
+from repro.logic.terms import (
+    PairTerm,
+    Proj,
+    UnitTerm,
+    Var,
+    beta_normalize_term,
+    proj1,
+    proj2,
+    term_size,
+    term_type,
+    term_vars,
+)
+from repro.nr.types import UNIT, UR, ProdType, SetType, prod, set_of
+
+
+def test_term_typing():
+    x = Var("x", prod(UR, set_of(UR)))
+    assert term_type(x) == prod(UR, set_of(UR))
+    assert term_type(proj1(x)) == UR
+    assert term_type(proj2(x)) == set_of(UR)
+    assert term_type(UnitTerm()) == UNIT
+    assert term_type(PairTerm(proj1(x), UnitTerm())) == ProdType(UR, UNIT)
+
+
+def test_projection_of_non_product_fails():
+    x = Var("x", UR)
+    with pytest.raises(TypeMismatchError):
+        term_type(proj1(x))
+
+
+def test_projection_index_validation():
+    with pytest.raises(TypeMismatchError):
+        Proj(3, Var("x", prod(UR, UR)))
+
+
+def test_term_vars_and_size():
+    x = Var("x", prod(UR, UR))
+    y = Var("y", UR)
+    t = PairTerm(proj1(x), y)
+    assert term_vars(t) == frozenset({x, y})
+    assert term_size(t) == 4
+
+
+def test_beta_normalize_term():
+    x = Var("x", UR)
+    y = Var("y", UR)
+    t = Proj(1, PairTerm(x, y))
+    assert beta_normalize_term(t) == x
+    nested = Proj(2, PairTerm(x, Proj(1, PairTerm(y, x))))
+    assert beta_normalize_term(nested) == y
+
+
+def test_formula_classification():
+    x = Var("x", UR)
+    y = Var("y", UR)
+    s = Var("s", set_of(UR))
+    eq = EqUr(x, y)
+    assert is_atomic(eq) and is_existential_leading(eq) and is_alternative_leading(eq)
+    ex = Exists(x, s, Top())
+    assert is_existential_leading(ex) and not is_alternative_leading(ex)
+    fa = Forall(x, s, Top())
+    assert is_alternative_leading(fa) and not is_existential_leading(fa)
+    assert is_alternative_leading(And(Top(), Bottom()))
+    assert is_alternative_leading(Or(Top(), Bottom()))
+    assert is_alternative_leading(Top()) and is_alternative_leading(Bottom())
+
+
+def test_is_delta0():
+    x = Var("x", UR)
+    s = Var("s", set_of(UR))
+    assert is_delta0(Exists(x, s, EqUr(x, x)))
+    assert not is_delta0(Member(x, s))
+    assert not is_delta0(Forall(x, s, NotMember(x, s)))
+
+
+def test_conj_disj_builders():
+    assert conj([]) == Top()
+    assert disj([]) == Bottom()
+    a, b, c = Top(), Bottom(), Top()
+    assert conj([a, b, c]) == And(a, And(b, c))
+    assert disj([a, b]) == Or(a, b)
+    assert conj([a]) == a
+
+
+def test_formula_size_and_subformulas():
+    x = Var("x", UR)
+    s = Var("s", set_of(UR))
+    phi = Forall(x, s, And(EqUr(x, x), Top()))
+    assert formula_size(phi) == 4
+    subs = list(subformulas(phi))
+    assert phi in subs and Top() in subs and EqUr(x, x) in subs
+
+
+def test_strip_exists_prefix():
+    x = Var("x", UR)
+    y = Var("y", UR)
+    s = Var("s", set_of(UR))
+    phi = Exists(x, s, Exists(y, s, EqUr(x, y)))
+    prefix, matrix = strip_exists_prefix(phi)
+    assert prefix == [(x, s), (y, s)]
+    assert matrix == EqUr(x, y)
+    prefix2, matrix2 = strip_exists_prefix(EqUr(x, y))
+    assert prefix2 == [] and matrix2 == EqUr(x, y)
+
+
+def test_formula_str_smoke():
+    x = Var("x", UR)
+    s = Var("s", set_of(UR))
+    assert "ex" in str(Exists(x, s, EqUr(x, x)))
+    assert "all" in str(Forall(x, s, NeqUr(x, x)))
+    assert "in" in str(Member(x, s))
+    assert "notin" in str(NotMember(x, s))

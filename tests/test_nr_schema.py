@@ -1,0 +1,70 @@
+"""Unit tests for schemas and instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.nr.schema import Instance, Schema
+from repro.nr.types import UR, prod, set_of
+from repro.nr.values import pair, ur, vset
+
+
+def example_schema():
+    return Schema.of({"R": set_of(prod(UR, UR)), "S": set_of(prod(UR, set_of(UR)))})
+
+
+def test_schema_declarations_and_lookup():
+    schema = example_schema()
+    assert schema.names() == ("R", "S")
+    assert schema.type_of("R") == set_of(prod(UR, UR))
+    assert "S" in schema
+    assert "T" not in schema
+
+
+def test_schema_duplicate_rejected():
+    with pytest.raises(SchemaError):
+        Schema((("R", UR), ("R", UR)))
+
+
+def test_schema_missing_lookup():
+    with pytest.raises(SchemaError):
+        example_schema().type_of("missing")
+
+
+def test_schema_restrict_and_extend():
+    schema = example_schema()
+    restricted = schema.restrict(["S"])
+    assert restricted.names() == ("S",)
+    extended = schema.extend("T", UR)
+    assert extended.names() == ("R", "S", "T")
+    with pytest.raises(SchemaError):
+        schema.extend("R", UR)
+
+
+def test_instance_round_trip():
+    schema = example_schema()
+    r = vset([pair(ur(4), ur(6)), pair(ur(7), ur(3))])
+    s = vset([pair(ur(4), vset([ur(6), ur(9)]))])
+    instance = Instance.of(schema, {"R": r, "S": s})
+    assert instance.value_of("R") == r
+    assert instance.as_dict()["S"] == s
+
+
+def test_instance_missing_and_extra_names():
+    schema = example_schema()
+    with pytest.raises(SchemaError):
+        Instance.of(schema, {"R": vset()})
+    with pytest.raises(SchemaError):
+        Instance.of(schema, {"R": vset(), "S": vset(), "X": vset()})
+
+
+def test_instance_type_violation():
+    schema = example_schema()
+    with pytest.raises(SchemaError):
+        Instance.of(schema, {"R": vset([ur(1)]), "S": vset()})
+
+
+def test_instance_str_and_schema_str():
+    schema = example_schema()
+    instance = Instance.of(schema, {"R": vset(), "S": vset()})
+    assert "R" in str(schema)
+    assert "R = {}" in str(instance)

@@ -1,0 +1,96 @@
+"""Unit tests for nested relational types."""
+
+import pytest
+
+from repro.nr.types import (
+    BOOL,
+    UNIT,
+    UR,
+    ProdType,
+    SetType,
+    UnitType,
+    UrType,
+    prod,
+    set_of,
+    subtypes,
+    tuple_components,
+    tuple_type,
+    type_depth,
+    type_size,
+)
+
+
+def test_base_type_singletons_equal():
+    assert UnitType() == UNIT
+    assert UrType() == UR
+    assert BOOL == SetType(UNIT)
+
+
+def test_prod_and_set_constructors():
+    t = prod(UR, set_of(UR))
+    assert isinstance(t, ProdType)
+    assert t.left == UR
+    assert t.right == SetType(UR)
+
+
+def test_types_are_hashable_and_comparable():
+    a = SetType(ProdType(UR, SetType(UR)))
+    b = SetType(ProdType(UR, SetType(UR)))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_tuple_type_right_nested():
+    t = tuple_type(UR, UR, SetType(UR))
+    assert t == ProdType(UR, ProdType(UR, SetType(UR)))
+
+
+def test_tuple_type_degenerate_cases():
+    assert tuple_type() == UNIT
+    assert tuple_type(UR) == UR
+
+
+def test_tuple_components_inverse_of_tuple_type():
+    t = tuple_type(UR, SetType(UR), UNIT)
+    assert tuple_components(t, 3) == (UR, SetType(UR), UNIT)
+
+
+def test_tuple_components_errors():
+    with pytest.raises(ValueError):
+        tuple_components(UR, 0)
+    with pytest.raises(TypeError):
+        tuple_components(UR, 2)
+
+
+def test_type_depth():
+    assert type_depth(UR) == 0
+    assert type_depth(UNIT) == 0
+    assert type_depth(SetType(UR)) == 1
+    assert type_depth(SetType(ProdType(UR, SetType(UR)))) == 2
+
+
+def test_type_size():
+    assert type_size(UR) == 1
+    assert type_size(ProdType(UR, SetType(UNIT))) == 4
+
+
+def test_subtypes_enumeration():
+    t = SetType(ProdType(UR, SetType(UR)))
+    got = list(subtypes(t))
+    assert t in got
+    assert UR in got
+    assert SetType(UR) in got
+    assert len(got) == 5
+
+
+def test_string_rendering():
+    assert str(SetType(ProdType(UR, UNIT))) == "Set((Ur x Unit))"
+
+
+def test_predicates():
+    assert SetType(UR).is_set()
+    assert ProdType(UR, UR).is_prod()
+    assert UR.is_ur()
+    assert UNIT.is_unit()
+    assert not UR.is_set()

@@ -1,0 +1,145 @@
+"""Unit tests for nested relational values."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import BOOL, UNIT, UR, ProdType, SetType, prod, set_of
+from repro.nr.values import (
+    DEFAULT_UR_ATOM,
+    PairValue,
+    SetValue,
+    UnitValue,
+    UrValue,
+    bool_value,
+    default_value,
+    pair,
+    require_type,
+    sorted_elements,
+    tuple_value,
+    unit,
+    ur,
+    ur_atoms,
+    ur_values,
+    value_sort_key,
+    value_to_bool,
+    value_type_check,
+    values_of_type,
+    vset,
+)
+
+
+def test_extensional_equality_of_sets():
+    a = vset([ur(1), ur(2)])
+    b = vset([ur(2), ur(1)])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_nested_set_equality():
+    a = vset([pair(ur("k"), vset([ur(1), ur(2)]))])
+    b = vset([pair(ur("k"), vset([ur(2), ur(1)]))])
+    assert a == b
+
+
+def test_value_type_check_positive():
+    value = vset([pair(ur(4), vset([ur(6), ur(9)]))])
+    typ = set_of(prod(UR, set_of(UR)))
+    assert value_type_check(value, typ)
+
+
+def test_value_type_check_negative():
+    assert not value_type_check(ur(1), UNIT)
+    assert not value_type_check(vset([ur(1)]), set_of(set_of(UR)))
+    assert not value_type_check(pair(ur(1), ur(2)), prod(UR, set_of(UR)))
+
+
+def test_require_type_raises():
+    with pytest.raises(TypeMismatchError):
+        require_type(ur(1), UNIT)
+    assert require_type(ur(1), UR) == ur(1)
+
+
+def test_bool_values():
+    assert value_to_bool(bool_value(True))
+    assert not value_to_bool(bool_value(False))
+    assert value_type_check(bool_value(True), BOOL)
+    assert bool_value(True) == vset([unit()])
+    assert bool_value(False) == vset()
+
+
+def test_value_to_bool_rejects_non_set():
+    with pytest.raises(TypeMismatchError):
+        value_to_bool(ur(1))
+
+
+def test_tuple_value_right_nested():
+    v = tuple_value(ur(1), ur(2), ur(3))
+    assert v == pair(ur(1), pair(ur(2), ur(3)))
+    assert tuple_value() == unit()
+    assert tuple_value(ur(5)) == ur(5)
+
+
+def test_default_values():
+    assert default_value(UNIT) == unit()
+    assert default_value(UR) == ur(DEFAULT_UR_ATOM)
+    assert default_value(set_of(UR)) == vset()
+    assert default_value(prod(UR, UNIT)) == pair(ur(DEFAULT_UR_ATOM), unit())
+
+
+def test_ur_atoms_transitive():
+    value = vset([pair(ur("a"), vset([ur("b"), ur("c")]))])
+    assert ur_atoms(value) == frozenset({"a", "b", "c"})
+    assert ur_values(value) == frozenset({ur("a"), ur("b"), ur("c")})
+
+
+def test_ur_rejects_value_atom():
+    with pytest.raises(TypeMismatchError):
+        ur(ur(1))
+
+
+def test_vset_rejects_non_value():
+    with pytest.raises(TypeMismatchError):
+        vset([1, 2])
+
+
+def test_set_value_container_protocol():
+    s = vset([ur(1), ur(2)])
+    assert len(s) == 2
+    assert ur(1) in s
+    assert set(iter(s)) == {ur(1), ur(2)}
+
+
+def test_value_sort_key_total_order():
+    values = [ur(2), ur(1), unit(), vset([ur(1)]), pair(ur(1), unit())]
+    ordered = sorted(values, key=value_sort_key)
+    assert ordered[0] == unit()
+    assert set(ordered) == set(values)
+
+
+def test_sorted_elements_deterministic():
+    s = vset([ur(3), ur(1), ur(2)])
+    assert sorted_elements(s) == [ur(1), ur(2), ur(3)]
+
+
+def test_values_of_type_enumeration_counts():
+    ur_vals = list(values_of_type(UR, [1, 2]))
+    assert len(ur_vals) == 2
+    unit_vals = list(values_of_type(UNIT, [1, 2]))
+    assert unit_vals == [unit()]
+    set_vals = list(values_of_type(set_of(UR), [1, 2], max_set_size=2))
+    # {}, {1}, {2}, {1,2}
+    assert len(set_vals) == 4
+    prod_vals = list(values_of_type(prod(UR, UR), [1, 2]))
+    assert len(prod_vals) == 4
+
+
+def test_values_of_type_are_well_typed():
+    typ = set_of(prod(UR, set_of(UR)))
+    for value in values_of_type(typ, [1], max_set_size=1):
+        assert value_type_check(value, typ)
+
+
+def test_str_rendering_deterministic():
+    s = vset([ur(2), ur(1)])
+    assert str(s) == "{1, 2}"
+    assert str(pair(ur(1), unit())) == "<1, ()>"

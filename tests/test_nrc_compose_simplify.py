@@ -1,0 +1,155 @@
+"""Tests for NRC substitution/composition, the simplifier, printer and flat RA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.nr.types import UR, prod, set_of
+from repro.nr.values import pair, ur, vset
+from repro.nrc.compose import compose, nrc_free_vars, nrc_substitute
+from repro.nrc.eval import eval_nrc
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+    expr_size,
+)
+from repro.nrc.flat import (
+    Product,
+    Project,
+    RADiff,
+    RAUnion,
+    RelVar,
+    Select,
+    eval_ra,
+    flat_relation_type,
+    is_flat_relation_type,
+    ra_to_nrc,
+    relation_rows,
+    relation_value,
+)
+from repro.nrc.printer import pretty
+from repro.nrc.simplify import simplify
+from repro.nrc.typing import infer_type
+
+
+def test_free_vars_and_substitute():
+    x = NVar("x", set_of(UR))
+    y = NVar("y", set_of(UR))
+    b = NVar("b", UR)
+    expr = NUnion(x, NBigUnion(NSingleton(b), b, y))
+    assert nrc_free_vars(expr) == frozenset({x, y})
+    replaced = nrc_substitute(expr, {y: x})
+    assert nrc_free_vars(replaced) == frozenset({x})
+
+
+def test_substitute_capture_avoidance():
+    x = NVar("x", UR)
+    y = NVar("y", set_of(UR))
+    body_var = NVar("z", UR)
+    expr = NBigUnion(NSingleton(NPair(body_var, x)), body_var, y)
+    # substitute x := z (the bound variable name) — must not be captured
+    incoming = NVar("z", UR)
+    result = nrc_substitute(expr, {x: incoming})
+    env = {y: vset([ur(1), ur(2)]), incoming: ur(9)}
+    value = eval_nrc(result, env)
+    assert value == vset([pair(ur(1), ur(9)), pair(ur(2), ur(9))])
+
+
+def test_compose_type_checked():
+    x = NVar("x", set_of(UR))
+    outer = NUnion(x, x)
+    inner = NSingleton(NVar("a", UR))
+    composed = compose(outer, x, inner)
+    assert eval_nrc(composed, {NVar("a", UR): ur(5)}) == vset([ur(5)])
+    with pytest.raises(TypeMismatchError):
+        compose(outer, x, NVar("a", UR))
+
+
+def test_simplify_rules():
+    x = NVar("x", set_of(UR))
+    a = NVar("a", UR)
+    assert simplify(NUnion(NEmpty(UR), x)) == x
+    assert simplify(NUnion(x, NEmpty(UR))) == x
+    assert simplify(NDiff(x, NEmpty(UR))) == x
+    assert simplify(NDiff(NEmpty(UR), x)) == NEmpty(UR)
+    assert simplify(NDiff(x, x)) == NEmpty(UR)
+    assert simplify(NUnion(x, x)) == x
+    assert simplify(NProj(1, NPair(a, a))) == a
+    assert simplify(NGet(NSingleton(a))) == a
+    assert simplify(NBigUnion(NSingleton(a), a, NEmpty(UR))) == NEmpty(UR)
+    b = NVar("b", UR)
+    assert simplify(NBigUnion(NSingleton(b), b, x)) == x
+    subst = simplify(NBigUnion(NSingleton(NPair(b, b)), b, NSingleton(a)))
+    assert subst == NSingleton(NPair(a, a))
+
+
+def _random_bool_exprs():
+    """A hypothesis strategy for closed Boolean NRC expressions."""
+    from repro.nrc.macros import and_expr, false_expr, not_expr, or_expr, true_expr
+
+    leaves = st.sampled_from([true_expr(), false_expr()])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: and_expr(*p)),
+            st.tuples(children, children).map(lambda p: or_expr(*p)),
+            children.map(not_expr),
+            st.tuples(children, children).map(lambda p: NUnion(*p)),
+            st.tuples(children, children).map(lambda p: NDiff(*p)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_bool_exprs())
+def test_simplify_preserves_semantics_property(expr):
+    assert eval_nrc(simplify(expr), {}) == eval_nrc(expr, {})
+    assert expr_size(simplify(expr)) <= expr_size(expr)
+
+
+def test_pretty_printer_round_trips_content():
+    x = NVar("some_rather_long_variable_name", set_of(UR))
+    expr = NUnion(NDiff(x, x), NBigUnion(NSingleton(NVar("el", UR)), NVar("el", UR), x))
+    text = pretty(expr, max_width=20)
+    assert "some_rather_long_variable_name" in text
+    assert text.count("\n") > 2
+    short = pretty(NVar("x", UR))
+    assert short == "x"
+
+
+def test_flat_relation_helpers():
+    assert is_flat_relation_type(flat_relation_type(3))
+    assert not is_flat_relation_type(set_of(set_of(UR)))
+    assert not is_flat_relation_type(UR)
+    rel = relation_value([(1, "a"), (2, "b")])
+    assert relation_rows(rel, 2) == ((1, "a"), (2, "b"))
+    with pytest.raises(TypeMismatchError):
+        flat_relation_type(0)
+
+
+def test_ra_eval_and_translation_agree():
+    R = RelVar("R", 2)
+    S = RelVar("S", 2)
+    query = Project(Select(Product(R, S), 2, 3), (1, 4))
+    union_query = RAUnion(Project(R, (1,)), Project(S, (2,)))
+    diff_query = RADiff(Project(R, (1,)), Project(S, (1,)))
+    relations = {"R": [(1, 2), (3, 4)], "S": [(2, 5), (4, 6), (7, 8)]}
+    assert eval_ra(query, relations) == ((1, 5), (3, 6))
+    # the same queries through NRC
+    for ra in (query, union_query, diff_query):
+        nrc = ra_to_nrc(ra)
+        env = {
+            NVar("R", flat_relation_type(2)): relation_value(relations["R"]),
+            NVar("S", flat_relation_type(2)): relation_value(relations["S"]),
+        }
+        got = relation_rows(eval_nrc(nrc, env), ra.arity())
+        assert got == eval_ra(ra, relations)

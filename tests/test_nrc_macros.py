@@ -1,0 +1,215 @@
+"""Unit tests for the NRC macro library."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.logic.formulas import And, EqUr, Exists, Forall, Member, NeqUr, Or, Top, Bottom
+from repro.logic.macros import member_hat
+from repro.logic.terms import Proj, Var, proj1, proj2
+from repro.nr.types import BOOL, UNIT, UR, prod, set_of
+from repro.nr.values import bool_value, pair, ur, unit, vset, value_to_bool
+from repro.nrc.eval import eval_nrc
+from repro.nrc.expr import NPair, NProj, NSingleton, NVar
+from repro.nrc.macros import (
+    and_expr,
+    atoms_expr,
+    comprehension,
+    cond,
+    cond_set,
+    delta0_to_bool,
+    eq_expr,
+    false_expr,
+    intersect,
+    is_empty,
+    member_expr,
+    nonempty,
+    not_expr,
+    or_expr,
+    pair_with,
+    singleton_map,
+    subset_expr,
+    term_to_nrc,
+    true_expr,
+    tuple_expr,
+    tuple_proj,
+)
+from repro.nrc.typing import infer_type
+
+
+def as_bool(expr, env):
+    return value_to_bool(eval_nrc(expr, env))
+
+
+def test_boolean_constants_and_connectives():
+    assert eval_nrc(true_expr(), {}) == bool_value(True)
+    assert eval_nrc(false_expr(), {}) == bool_value(False)
+    assert as_bool(not_expr(false_expr()), {})
+    assert not as_bool(not_expr(true_expr()), {})
+    assert as_bool(and_expr(true_expr(), true_expr()), {})
+    assert not as_bool(and_expr(true_expr(), false_expr()), {})
+    assert as_bool(or_expr(false_expr(), true_expr()), {})
+    assert not as_bool(or_expr(false_expr(), false_expr()), {})
+
+
+def test_emptiness_tests():
+    s = NVar("s", set_of(UR))
+    assert as_bool(nonempty(s), {s: vset([ur(1)])})
+    assert not as_bool(nonempty(s), {s: vset()})
+    assert as_bool(is_empty(s), {s: vset()})
+    with pytest.raises(TypeMismatchError):
+        nonempty(NVar("x", UR))
+
+
+def test_intersect_and_subset():
+    a = NVar("a", set_of(UR))
+    b = NVar("b", set_of(UR))
+    env = {a: vset([ur(1), ur(2)]), b: vset([ur(2), ur(3)])}
+    assert eval_nrc(intersect(a, b), env) == vset([ur(2)])
+    assert as_bool(subset_expr(a, b), {a: vset([ur(2)]), b: vset([ur(2), ur(3)])})
+    assert not as_bool(subset_expr(a, b), env)
+
+
+def test_eq_expr_at_various_types():
+    x = NVar("x", UR)
+    y = NVar("y", UR)
+    assert infer_type(eq_expr(x, y)) == BOOL
+    assert as_bool(eq_expr(x, y), {x: ur(1), y: ur(1)})
+    assert not as_bool(eq_expr(x, y), {x: ur(1), y: ur(2)})
+    s = NVar("s", set_of(UR))
+    t = NVar("t", set_of(UR))
+    assert as_bool(eq_expr(s, t), {s: vset([ur(1), ur(2)]), t: vset([ur(2), ur(1)])})
+    assert not as_bool(eq_expr(s, t), {s: vset([ur(1)]), t: vset([ur(2), ur(1)])})
+    with pytest.raises(TypeMismatchError):
+        eq_expr(x, s)
+
+
+def test_member_expr():
+    x = NVar("x", UR)
+    s = NVar("s", set_of(UR))
+    assert as_bool(member_expr(x, s), {x: ur(1), s: vset([ur(1), ur(2)])})
+    assert not as_bool(member_expr(x, s), {x: ur(3), s: vset([ur(1), ur(2)])})
+    with pytest.raises(TypeMismatchError):
+        member_expr(s, s)
+
+
+def test_cond_set_and_cond():
+    a = NVar("a", set_of(UR))
+    b = NVar("b", set_of(UR))
+    env = {a: vset([ur(1)]), b: vset([ur(2)])}
+    assert eval_nrc(cond_set(true_expr(), a, b), env) == vset([ur(1)])
+    assert eval_nrc(cond_set(false_expr(), a, b), env) == vset([ur(2)])
+    x = NVar("x", UR)
+    y = NVar("y", UR)
+    env2 = {x: ur(1), y: ur(2)}
+    assert eval_nrc(cond(true_expr(), x, y), env2) == ur(1)
+    assert eval_nrc(cond(false_expr(), x, y), env2) == ur(2)
+    with pytest.raises(TypeMismatchError):
+        cond_set(true_expr(), x, y)
+    with pytest.raises(TypeMismatchError):
+        cond(true_expr(), x, a)
+
+
+def test_singleton_map_and_pair_with():
+    s = NVar("s", set_of(UR))
+    env = {s: vset([ur(1), ur(2)])}
+    doubled = singleton_map(lambda e: NPair(e, e), s)
+    assert eval_nrc(doubled, env) == vset([pair(ur(1), ur(1)), pair(ur(2), ur(2))])
+    k = NVar("k", UR)
+    tagged = pair_with(k, s)
+    assert eval_nrc(tagged, {**env, k: ur("t")}) == vset([pair(ur("t"), ur(1)), pair(ur("t"), ur(2))])
+    with pytest.raises(TypeMismatchError):
+        singleton_map(lambda e: e, k)
+
+
+def test_tuple_expr_and_proj():
+    x, y, z = NVar("x", UR), NVar("y", UR), NVar("z", UR)
+    t = tuple_expr(x, y, z)
+    env = {x: ur(1), y: ur(2), z: ur(3)}
+    assert eval_nrc(tuple_proj(t, 1, 3), env) == ur(1)
+    assert eval_nrc(tuple_proj(t, 2, 3), env) == ur(2)
+    assert eval_nrc(tuple_proj(t, 3, 3), env) == ur(3)
+    assert tuple_expr() == eval_nrc_identity()
+    with pytest.raises(TypeMismatchError):
+        tuple_proj(t, 4, 3)
+
+
+def eval_nrc_identity():
+    from repro.nrc.expr import NUnit
+
+    return NUnit()
+
+
+def test_term_to_nrc():
+    b = Var("b", prod(UR, set_of(UR)))
+    expr = term_to_nrc(proj1(b))
+    assert expr == NProj(1, NVar("b", prod(UR, set_of(UR))))
+    override = {b: NVar("other", prod(UR, set_of(UR)))}
+    assert term_to_nrc(proj2(b), override) == NProj(2, NVar("other", prod(UR, set_of(UR))))
+
+
+def test_delta0_to_bool_matches_logic_semantics():
+    from repro.logic.semantics import eval_formula
+
+    elem = prod(UR, set_of(UR))
+    B = Var("B", set_of(elem))
+    b = Var("b", elem)
+    # forall b in B . pi1(b) in^ pi2(b)
+    phi = Forall(b, B, member_hat(proj1(b), proj2(b)))
+    bool_expr = delta0_to_bool(phi)
+    nB = NVar("B", set_of(elem))
+    good = vset([pair(ur(1), vset([ur(1), ur(2)]))])
+    bad = vset([pair(ur(1), vset([ur(2)]))])
+    for value in (good, bad):
+        assert value_to_bool(eval_nrc(bool_expr, {nB: value})) == eval_formula(phi, {B: value})
+
+
+def test_delta0_to_bool_all_connectives():
+    x = Var("x", UR)
+    y = Var("y", UR)
+    s = Var("s", set_of(UR))
+    formulas = [
+        Top(),
+        Bottom(),
+        EqUr(x, y),
+        NeqUr(x, y),
+        And(EqUr(x, y), Top()),
+        Or(EqUr(x, x), Bottom()),
+        Member(x, s),
+        Exists(Var("z", UR), s, EqUr(Var("z", UR), x)),
+        Forall(Var("z", UR), s, NeqUr(Var("z", UR), y)),
+    ]
+    from repro.logic.semantics import eval_formula
+
+    nx, ny, ns = NVar("x", UR), NVar("y", UR), NVar("s", set_of(UR))
+    env_logic = {x: ur(1), y: ur(2), s: vset([ur(1), ur(3)])}
+    env_nrc = {nx: ur(1), ny: ur(2), ns: vset([ur(1), ur(3)])}
+    for phi in formulas:
+        assert value_to_bool(eval_nrc(delta0_to_bool(phi), env_nrc)) == eval_formula(phi, env_logic)
+
+
+def test_comprehension():
+    s = NVar("s", set_of(UR))
+    z = NVar("z", UR)
+    target = Var("t", UR)
+    phi = NeqUr(Var("z", UR), target)
+    expr = comprehension(s, z, phi)
+    t_nrc = NVar("t", UR)
+    env = {s: vset([ur(1), ur(2), ur(3)]), t_nrc: ur(2)}
+    assert eval_nrc(expr, env) == vset([ur(1), ur(3)])
+    with pytest.raises(TypeMismatchError):
+        comprehension(NVar("x", UR), z, phi)
+
+
+def test_atoms_expr_collects_transitive_ur_elements():
+    elem = prod(UR, set_of(UR))
+    B = NVar("B", set_of(elem))
+    V = NVar("V", set_of(UR))
+    expr = atoms_expr([B, V])
+    env = {
+        B: vset([pair(ur("k"), vset([ur(1), ur(2)]))]),
+        V: vset([ur(9)]),
+    }
+    assert eval_nrc(expr, env) == vset([ur("k"), ur(1), ur(2), ur(9)])
+    assert eval_nrc(atoms_expr([]), {}) == vset()
+    u = NVar("u", UNIT)
+    assert eval_nrc(atoms_expr([u]), {u: unit()}) == vset()

@@ -1,0 +1,114 @@
+"""Shared timing helpers for the core-IR before/after benchmark.
+
+Used by ``benchmarks/bench_core_ir.py``; kept importable on its own so the
+same measurements can be taken against any checkout (the seed baseline in
+``BENCH_core_ir.json`` was produced by running this module at the seed
+commit).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Dict
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5, inner: int = 1) -> float:
+    """Best wall-clock seconds for ``inner`` calls of ``fn`` over ``repeats`` runs.
+
+    The garbage collector is paused while timing so that collection pauses
+    triggered by earlier measurements don't land inside this one.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
+    return best
+
+
+def measure_all() -> Dict[str, float]:
+    """Measure the benchmark suite against the currently importable repro."""
+    from repro.nr.types import UR, prod, set_of
+    from repro.nr.values import pair, ur, vset
+    from repro.nrc.eval import eval_nrc
+    from repro.nrc.expr import NBigUnion, NPair, NProj, NSingleton, NVar
+    from repro.nrc.macros import comprehension
+    from repro.nrc.simplify import simplify
+    from repro.logic.formulas import NeqUr
+    from repro.logic.terms import Var
+    from repro.proofs.search import ProofSearch
+    from repro.specs import examples
+    from repro.synthesis import synthesize
+
+    results: Dict[str, float] = {}
+
+    # --- E1: flatten eval at the largest parametrized size (200 keys x 10) ---
+    elem = prod(UR, set_of(UR))
+    big = NVar("B", set_of(elem))
+    b = NVar("b", elem)
+    c = NVar("c", UR)
+    flatten = NBigUnion(NBigUnion(NSingleton(NPair(NProj(1, b), c)), c, NProj(2, b)), b, big)
+    instance = vset(
+        [pair(ur(f"k{i}"), vset([ur(i * 1000 + j) for j in range(10)])) for i in range(200)]
+    )
+    env = {big: instance}
+    results["eval_flatten_200x10"] = best_of(lambda: eval_nrc(flatten, env), repeats=7, inner=3)
+
+    # --- E1: comprehension eval at the largest size (400) ---
+    source = NVar("S", set_of(UR))
+    z = NVar("z", UR)
+    phi = NeqUr(Var("z", UR), Var("t", UR))
+    comp = comprehension(source, z, phi)
+    comp_env = {source: vset([ur(i) for i in range(400)]), NVar("t", UR): ur(0)}
+    results["eval_comprehension_400"] = best_of(lambda: eval_nrc(comp, comp_env), repeats=7, inner=3)
+
+    # --- simplify throughput on the synthesized-definition corpus ---
+    problems = [
+        examples.identity_view,
+        examples.union_view,
+        examples.intersection_view,
+        examples.pair_of_views,
+        examples.unique_element,
+    ]
+    corpus = []
+    for make in problems:
+        problem = make()
+        result = synthesize(problem, search=ProofSearch(max_depth=12), simplify_output=False)
+        corpus.append(result.expression)
+    results["simplify_corpus"] = best_of(
+        lambda: [simplify(expr) for expr in corpus], repeats=5, inner=2
+    )
+
+    # --- E5: synthesis end-to-end (search + extraction) ---
+    for name, make in (("identity_view", examples.identity_view), ("union_view", examples.union_view)):
+        problem = make()
+        results[f"synthesis_end_to_end_{name}"] = best_of(
+            lambda: synthesize(problem, search=ProofSearch(max_depth=12)), repeats=5, inner=2
+        )
+
+    # --- E2: proof search ---
+    problem = examples.pair_of_views()
+    goal = problem.determinacy_goal()
+    results["proof_search_pair_of_views"] = best_of(
+        lambda: ProofSearch(max_depth=12).prove(goal), repeats=5, inner=2
+    )
+    return results
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    out = measure_all()
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    print()

@@ -1,0 +1,117 @@
+"""A pass-pipeline rewrite engine over the shared :class:`~repro.core.node.Node` IR.
+
+A :class:`RewriteEngine` owns an ordered list of *named* rules.  Each pass
+rewrites the tree bottom-up (iteratively, identity-preserving); at every node
+the rules are tried in order and re-applied until none fires.  Passes repeat
+until a pass returns the identical object — thanks to identity-preserving
+rebuilding this fixpoint check is a single pointer comparison, not a deep
+equality, which is what makes running pipelines to fixpoint cheap.
+
+Per-run :class:`RewriteStats` record how many passes ran and how often each
+rule fired, so simplifier regressions show up as numbers instead of vibes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.node import Node, transform_bottom_up
+
+#: A rule takes a node whose children are already simplified and returns a
+#: replacement node, or ``None`` (equivalently the same object) for "no match".
+#: Rules are registered as ``(name, node_class, fn)``: the engine dispatches
+#: on the node's exact class, so nodes no rule targets cost nothing per pass.
+#: ``node_class`` may be a tuple of classes or ``None`` for "any node".
+Rule = Callable[[Node], Optional[Node]]
+
+#: Upper bound on rule applications at a single node within one pass; guards
+#: against accidentally cyclic rule sets without affecting terminating ones.
+_MAX_RULE_APPLICATIONS_PER_NODE = 128
+
+
+@dataclass
+class RewriteStats:
+    """Statistics of one :meth:`RewriteEngine.run` invocation."""
+
+    passes: int = 0
+    fired: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(self.fired.values())
+
+    def __str__(self) -> str:
+        rules = ", ".join(f"{name}×{count}" for name, count in sorted(self.fired.items()))
+        return f"{self.passes} passes, {self.total_rewrites} rewrites ({rules or 'none'})"
+
+
+class RewriteEngine:
+    """Run a named rule set bottom-up to fixpoint with per-pass statistics."""
+
+    def __init__(
+        self,
+        rules: Sequence[Tuple[str, object, Rule]],
+        max_passes: int = 50,
+        name: str = "rewrite",
+    ) -> None:
+        self.rules: Tuple[Tuple[str, object, Rule], ...] = tuple(rules)
+        self.max_passes = max_passes
+        self.name = name
+        self.last_stats: Optional[RewriteStats] = None
+        # Exact-class dispatch table, filled lazily per concrete node class.
+        self._dispatch: Dict[type, Tuple[Tuple[str, Rule], ...]] = {}
+
+    def _rules_for(self, cls: type) -> Tuple[Tuple[str, Rule], ...]:
+        table = self._dispatch.get(cls)
+        if table is None:
+            table = tuple(
+                (rule_name, rule)
+                for rule_name, target, rule in self.rules
+                if target is None or (issubclass(cls, target) if isinstance(target, type) else issubclass(cls, tuple(target)))
+            )
+            self._dispatch[cls] = table
+        return table
+
+    def run(self, node: Node) -> Node:
+        """Rewrite ``node`` to fixpoint; statistics land in ``last_stats``."""
+        result, self.last_stats = self.run_with_stats(node)
+        return result
+
+    def run_with_stats(self, node: Node) -> Tuple[Node, RewriteStats]:
+        stats = RewriteStats()
+        fired = stats.fired
+        dispatch = self._dispatch
+        rules_for = self._rules_for
+
+        def apply_rules(current: Node) -> Node:
+            # Re-run the rule list from the top whenever a rule fires: earlier
+            # rules may match the rewritten node (e.g. a substitution exposing
+            # a ∅-source union).  Rules only see already-simplified children.
+            # A bounded loop guards against rule sets that cycle (a→b→a).
+            for _ in range(_MAX_RULE_APPLICATIONS_PER_NODE):
+                table = dispatch.get(current.__class__)
+                if table is None:
+                    table = rules_for(current.__class__)
+                if not table:
+                    return current
+                progress = False
+                for rule_name, rule in table:
+                    replacement = rule(current)
+                    if replacement is not None and replacement is not current:
+                        fired[rule_name] = fired.get(rule_name, 0) + 1
+                        current = replacement
+                        progress = True
+                        break
+                if not progress:
+                    break
+            return current
+
+        current = node
+        for _ in range(self.max_passes):
+            stats.passes += 1
+            rewritten = transform_bottom_up(current, apply_rules)
+            if rewritten is current:  # pointer check: nothing changed anywhere
+                break
+            current = rewritten
+        return current, stats

@@ -1,0 +1,118 @@
+"""Hash-consing and per-node caches for the shared IR.
+
+Two complementary mechanisms:
+
+* :func:`install_hash_cache` — wraps the dataclass-generated ``__hash__`` of
+  the AST classes so each node computes its structural hash **once** and then
+  answers from a cached slot.  Profiling the seed showed recursive hashing
+  (formulas inside ``frozenset`` sequents) accounted for ~50% of proof-search
+  time; this turns every subsequent hash into a dict lookup.
+
+* :func:`intern` — bottom-up hash-consing: structurally equal subtrees are
+  mapped to one canonical object, so equality checks degrade to pointer
+  comparisons (``PyObject_RichCompareBool`` short-circuits on identity) and
+  the per-node analysis caches (size, free variables, inferred type) are
+  shared across every occurrence.
+
+The caching contract (see ARCHITECTURE.md): nodes are frozen, so any value
+derived purely from the subtree may be memoized in the node's ``__dict__``.
+Caches live on the nodes themselves — dropping the last reference to an
+expression drops its caches; only the intern table requires explicit clearing
+via :func:`clear_intern_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, Tuple
+
+from repro.core.node import Node, transform_bottom_up
+
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+def install_hash_cache(*classes: type) -> None:
+    """Replace each class's ``__hash__`` with a caching wrapper.
+
+    Safe because all AST classes are frozen dataclasses: the structural hash
+    of a node can never change.  Must be called after the last
+    ``@dataclass(frozen=True)`` subclass of each hierarchy is defined in its
+    module (the dataclass decorator would otherwise regenerate ``__hash__``).
+    """
+    for cls in classes:
+        original = cls.__dict__.get("__hash__") or cls.__hash__
+
+        def cached_hash(self, _original=original):
+            d = self.__dict__
+            h = d.get("_chash")
+            if h is None:
+                h = _original(self)
+                object.__setattr__(self, "_chash", h)
+            return h
+
+        cls.__hash__ = cached_hash  # type: ignore[assignment]
+
+
+def install_str_cache(*classes: type) -> None:
+    """Replace each class's ``__str__`` with a caching wrapper.
+
+    The proof search orders candidate formulas by their (deterministic)
+    string rendering; rendering is O(size) per call on frozen trees, so the
+    result is cached like the structural hash.
+    """
+    for cls in classes:
+        original = cls.__dict__.get("__str__") or cls.__str__
+
+        def cached_str(self, _original=original):
+            d = self.__dict__
+            s = d.get("_cstr")
+            if s is None:
+                s = _original(self)
+                object.__setattr__(self, "_cstr", s)
+            return s
+
+        cls.__str__ = cached_str  # type: ignore[assignment]
+
+
+# ------------------------------------------------------------------ interning
+_INTERN_TABLE: Dict[tuple, Node] = {}
+
+
+def intern(root: Node) -> Node:
+    """Return the canonical representative of ``root``.
+
+    Structurally equal subtrees (same class, same fields) are identified with
+    a single shared object, bottom-up.  Interned trees maximize sharing of the
+    per-node analysis caches and make ``==`` between canonical nodes a pointer
+    check in practice.
+    """
+    return transform_bottom_up(root, _canonicalize)
+
+
+def _canonicalize(node: Node) -> Node:
+    key = (node.__class__,) + tuple(
+        getattr(node, name) for name in _field_names(node.__class__)
+    )
+    hit = _INTERN_TABLE.get(key)
+    if hit is None:
+        _INTERN_TABLE[key] = node
+        return node
+    return hit
+
+
+def intern_table_size() -> int:
+    """Number of canonical nodes currently interned (for tests/diagnostics)."""
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_cache() -> None:
+    """Drop all canonical nodes (long-running processes can bound memory)."""
+    _INTERN_TABLE.clear()

@@ -1,0 +1,232 @@
+"""The shared IR substrate: the :class:`Node` protocol and generic traversals.
+
+Every immutable AST in the system — Δ0 terms, (extended) Δ0 formulas and NRC
+expressions — derives from :class:`Node` and exposes two structural methods:
+
+* ``children()`` — the tuple of sub-``Node``s, in a fixed left-to-right order.
+  For formulas this includes the terms they mention (so one walk reaches every
+  node of every sort); binder *variables* are **not** children — they are part
+  of the node's shape, like a projection index.
+* ``rebuild(children)`` — a copy of the node with the given children.  Callers
+  must pass the same number of children that ``children()`` returned.
+
+Binder nodes (``Forall``/``Exists``/``NBigUnion``) additionally expose
+``binder`` (the bound variable), ``body_index`` (which child the binder scopes
+over) and ``rebuild_binder(var, children)``.
+
+On top of the protocol this module provides the generic traversal engine used
+everywhere in place of the seed's five hand-rolled walkers:
+
+* :func:`walk` — iterative pre-order iteration (safe on 10k-deep chains);
+* :func:`fold` — iterative post-order reduction;
+* :func:`cached_fold` — the same, caching the result on each node so repeated
+  analyses (sizes, free variables, types) are amortized O(1);
+* :func:`map_children` / :func:`transform_bottom_up` — identity-preserving
+  rewriting: when nothing changes the *same object* is returned, so fixpoint
+  detection is a pointer comparison instead of a deep equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple, TypeVar
+
+N = TypeVar("N", bound="Node")
+A = TypeVar("A")
+
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+
+class Node:
+    """Base class of every AST node (terms, formulas, NRC expressions).
+
+    Every concrete subclass must implement ``children()`` — leaves via the
+    :func:`leaf` helper, composites explicitly.  The default *raises* so that
+    a future node class that forgets the protocol fails loudly on its first
+    traversal instead of being silently treated as a leaf (the seed walkers
+    raised ``FormulaError``/``TypeMismatchError`` on unknown nodes; this
+    preserves that invariant).
+    """
+
+    is_variable = False  # True on Var / NVar leaves
+    binder = None  # the bound variable on binder nodes, None elsewhere
+    body_index = -1  # index in children() the binder scopes over
+
+    def children(self) -> Tuple["Node", ...]:
+        raise TypeError(
+            f"{type(self).__name__} does not implement the Node protocol; "
+            "define children()/rebuild() (assign children = leaf_children for leaves)"
+        )
+
+    def rebuild(self, children: Tuple["Node", ...]) -> "Node":
+        return self
+
+    def rebuild_binder(self, var: "Node", children: Tuple["Node", ...]) -> "Node":
+        raise TypeError(f"{type(self).__name__} is not a binder node")
+
+    def _combine_free_vars(self, child_sets: Tuple[frozenset, ...]) -> frozenset:
+        """Per-class free-variable combine used by :func:`free_vars`."""
+        if self.is_variable:
+            return frozenset((self,))
+        if not child_sets:
+            return _EMPTY_FROZENSET
+        binder = self.binder
+        if binder is None:
+            if len(child_sets) == 1:
+                return child_sets[0]
+            return child_sets[0].union(*child_sets[1:])
+        parts = list(child_sets)
+        parts[self.body_index] = parts[self.body_index] - {binder}
+        if len(parts) == 1:
+            return parts[0]
+        return parts[0].union(*parts[1:])
+
+
+def leaf_children(self) -> Tuple[Node, ...]:
+    """Assign ``children = leaf_children`` in a class body to declare a leaf."""
+    return ()
+
+
+def walk(root: Node) -> Iterator[Node]:
+    """Yield ``root`` and every descendant, pre-order, left to right.
+
+    Iterative: safe on arbitrarily deep expressions (no ``RecursionError``).
+    """
+    stack: List[Node] = [root]
+    pop = stack.pop
+    while stack:
+        node = pop()
+        yield node
+        children = node.children()
+        if children:
+            stack.extend(reversed(children))
+
+
+def fold(root: Node, combine: Callable[[Node, Tuple[A, ...]], A]) -> A:
+    """Reduce the tree bottom-up: ``combine(node, child_results)`` per node.
+
+    Iterative post-order; shared sub-DAGs are folded once per object.
+    """
+    results: dict = {}
+    stack: List[Node] = [root]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in results:
+            stack.pop()
+            continue
+        children = node.children()
+        pending = [child for child in children if id(child) not in results]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        results[nid] = combine(node, tuple(results[id(child)] for child in children))
+    return results[id(root)]
+
+
+def cached_fold(root: Node, attr: str, combine: Callable[[Node, Tuple[A, ...]], A]) -> A:
+    """Like :func:`fold`, but cache each node's result in ``node.__dict__[attr]``.
+
+    Nodes are frozen, so any analysis depending only on the subtree is safe to
+    memoize this way (see ARCHITECTURE.md for the caching contract).  Cached
+    subtrees are never re-entered, which also keeps repeated analyses of
+    growing expressions incremental.
+    """
+    cached = root.__dict__.get(attr, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    setattr_ = object.__setattr__
+    stack: List[Node] = [root]
+    while stack:
+        node = stack[-1]
+        if attr in node.__dict__:
+            stack.pop()
+            continue
+        children = node.children()
+        pending = [child for child in children if attr not in child.__dict__]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        setattr_(node, attr, combine(node, tuple(child.__dict__[attr] for child in children)))
+    return root.__dict__[attr]
+
+
+_MISSING = object()
+
+
+def map_children(node: N, fn: Callable[[Node], Node]) -> N:
+    """Apply ``fn`` to each child; return ``node`` itself if nothing changed."""
+    children = node.children()
+    if not children:
+        return node
+    changed = False
+    new_children = []
+    for child in children:
+        new_child = fn(child)
+        new_children.append(new_child)
+        if new_child is not child:
+            changed = True
+    if not changed:
+        return node
+    return node.rebuild(tuple(new_children))  # type: ignore[return-value]
+
+
+def transform_bottom_up(root: Node, fn: Callable[[Node], Node]) -> Node:
+    """Rewrite the tree bottom-up with ``fn``, preserving identity on no-ops.
+
+    Children are transformed first; each node is rebuilt only when some child
+    actually changed, then ``fn`` is applied to the (possibly rebuilt) node.
+    Iterative, so deep chains do not overflow the Python stack; shared
+    sub-DAGs are transformed once per object.
+    """
+    results: dict = {}
+    stack: List[Node] = [root]
+    while stack:
+        node = stack[-1]
+        nid = id(node)
+        if nid in results:
+            stack.pop()
+            continue
+        children = node.children()
+        pending = [child for child in children if id(child) not in results]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if children:
+            new_children = tuple(results[id(child)] for child in children)
+            rebuilt = node
+            for old, new in zip(children, new_children):
+                if old is not new:
+                    rebuilt = node.rebuild(new_children)
+                    break
+        else:
+            rebuilt = node
+        results[nid] = fn(rebuilt)
+    return results[id(root)]
+
+
+# --------------------------------------------------------------- analyses
+def node_size(root: Node) -> int:
+    """Number of constructors in the subtree (cached per node, iterative)."""
+    size = root.__dict__.get("_size")
+    if size is not None:
+        return size
+    return cached_fold(root, "_size", _size_combine)
+
+
+def _size_combine(node: Node, child_sizes: Tuple[int, ...]) -> int:
+    return 1 + sum(child_sizes)
+
+
+def free_vars(root: Node) -> frozenset:
+    """Free variable nodes of the subtree, binder-aware (cached per node)."""
+    fv = root.__dict__.get("_fv")
+    if fv is not None:
+        return fv
+    return cached_fold(root, "_fv", _fv_combine)
+
+
+def _fv_combine(node: Node, child_sets: Tuple[frozenset, ...]) -> frozenset:
+    return node._combine_free_vars(child_sets)

@@ -12,19 +12,24 @@ type — these appear in ∈-contexts of sequents.
 
 The focused calculus classifies formulas as *existential-leading* (EL) or
 *alternative-leading* (AL); only atoms are both (Section 4).
+
+Formulas implement the :class:`repro.core.Node` protocol.  A formula's
+children include the terms it mentions (one walk reaches every node of both
+sorts); binder variables are part of the node's shape, not children.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.errors import FormulaError
+from repro.core import node as core
+from repro.core.interning import install_hash_cache, install_str_cache
 from repro.logic.terms import Term, Var
 
 
 @dataclass(frozen=True)
-class Formula:
+class Formula(core.Node):
     """Base class of (extended) Δ0 formulas."""
 
 
@@ -34,6 +39,12 @@ class EqUr(Formula):
 
     left: Term
     right: Term
+
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "EqUr":
+        return EqUr(children[0], children[1])
 
     def __str__(self) -> str:
         return f"{self.left} = {self.right}"
@@ -46,6 +57,12 @@ class NeqUr(Formula):
     left: Term
     right: Term
 
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "NeqUr":
+        return NeqUr(children[0], children[1])
+
     def __str__(self) -> str:
         return f"{self.left} != {self.right}"
 
@@ -54,6 +71,8 @@ class NeqUr(Formula):
 class Top(Formula):
     """The true formula ⊤."""
 
+    children = core.leaf_children
+
     def __str__(self) -> str:
         return "T"
 
@@ -61,6 +80,8 @@ class Top(Formula):
 @dataclass(frozen=True)
 class Bottom(Formula):
     """The false formula ⊥."""
+
+    children = core.leaf_children
 
     def __str__(self) -> str:
         return "F"
@@ -73,6 +94,12 @@ class And(Formula):
     left: Formula
     right: Formula
 
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "And":
+        return And(children[0], children[1])
+
     def __str__(self) -> str:
         return f"({self.left} & {self.right})"
 
@@ -83,6 +110,12 @@ class Or(Formula):
 
     left: Formula
     right: Formula
+
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "Or":
+        return Or(children[0], children[1])
 
     def __str__(self) -> str:
         return f"({self.left} | {self.right})"
@@ -96,6 +129,21 @@ class Forall(Formula):
     bound: Term
     body: Formula
 
+    body_index = 1
+
+    @property
+    def binder(self) -> Var:
+        return self.var
+
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.bound, self.body)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "Forall":
+        return Forall(self.var, children[0], children[1])
+
+    def rebuild_binder(self, var: Var, children: Tuple[core.Node, ...]) -> "Forall":
+        return Forall(var, children[0], children[1])
+
     def __str__(self) -> str:
         return f"(all {self.var} in {self.bound}. {self.body})"
 
@@ -108,6 +156,21 @@ class Exists(Formula):
     bound: Term
     body: Formula
 
+    body_index = 1
+
+    @property
+    def binder(self) -> Var:
+        return self.var
+
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.bound, self.body)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "Exists":
+        return Exists(self.var, children[0], children[1])
+
+    def rebuild_binder(self, var: Var, children: Tuple[core.Node, ...]) -> "Exists":
+        return Exists(var, children[0], children[1])
+
     def __str__(self) -> str:
         return f"(ex {self.var} in {self.bound}. {self.body})"
 
@@ -118,6 +181,12 @@ class Member(Formula):
 
     elem: Term
     collection: Term
+
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.elem, self.collection)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "Member":
+        return Member(children[0], children[1])
 
     def __str__(self) -> str:
         return f"{self.elem} in {self.collection}"
@@ -130,8 +199,18 @@ class NotMember(Formula):
     elem: Term
     collection: Term
 
+    def children(self) -> Tuple[core.Node, ...]:
+        return (self.elem, self.collection)
+
+    def rebuild(self, children: Tuple[core.Node, ...]) -> "NotMember":
+        return NotMember(children[0], children[1])
+
     def __str__(self) -> str:
         return f"{self.elem} notin {self.collection}"
+
+
+install_hash_cache(EqUr, NeqUr, Top, Bottom, And, Or, Forall, Exists, Member, NotMember)
+install_str_cache(EqUr, NeqUr, And, Or, Forall, Exists, Member, NotMember)
 
 
 def conj(formulas: Sequence[Formula]) -> Formula:
@@ -158,15 +237,13 @@ def disj(formulas: Sequence[Formula]) -> Formula:
 
 def is_delta0(formula: Formula) -> bool:
     """True iff ``formula`` is core Δ0 (contains no membership literals)."""
-    if isinstance(formula, (EqUr, NeqUr, Top, Bottom)):
-        return True
-    if isinstance(formula, (Member, NotMember)):
+    return core.cached_fold(formula, "_delta0", _delta0_combine)
+
+
+def _delta0_combine(node: core.Node, child_values: Tuple[bool, ...]) -> bool:
+    if isinstance(node, (Member, NotMember)):
         return False
-    if isinstance(formula, (And, Or)):
-        return is_delta0(formula.left) and is_delta0(formula.right)
-    if isinstance(formula, (Forall, Exists)):
-        return is_delta0(formula.body)
-    raise FormulaError(f"unknown formula {formula!r}")
+    return all(child_values)
 
 
 def is_atomic(formula: Formula) -> bool:
@@ -185,24 +262,26 @@ def is_alternative_leading(formula: Formula) -> bool:
 
 
 def formula_size(formula: Formula) -> int:
-    """Number of connectives/atoms in ``formula`` (terms count as 1)."""
-    if isinstance(formula, (EqUr, NeqUr, Top, Bottom, Member, NotMember)):
-        return 1
-    if isinstance(formula, (And, Or)):
-        return 1 + formula_size(formula.left) + formula_size(formula.right)
-    if isinstance(formula, (Forall, Exists)):
-        return 1 + formula_size(formula.body)
-    raise FormulaError(f"unknown formula {formula!r}")
+    """Number of connectives/atoms in ``formula`` (terms count as 1).
+
+    Cached per node and computed iteratively on the core engine.
+    """
+    return core.cached_fold(formula, "_fsize", _fsize_combine)
+
+
+def _fsize_combine(node: core.Node, child_sizes: Tuple[int, ...]) -> int:
+    own = 1 if isinstance(node, Formula) else 0
+    return own + sum(child_sizes)
 
 
 def subformulas(formula: Formula) -> Iterable[Formula]:
-    """Yield all subformulas of ``formula`` (including itself), pre-order."""
-    yield formula
-    if isinstance(formula, (And, Or)):
-        yield from subformulas(formula.left)
-        yield from subformulas(formula.right)
-    elif isinstance(formula, (Forall, Exists)):
-        yield from subformulas(formula.body)
+    """Yield all subformulas of ``formula`` (including itself), pre-order.
+
+    Iterative via the core walk: safe on arbitrarily deep formulas.
+    """
+    for node in core.walk(formula):
+        if isinstance(node, Formula):
+            yield node
 
 
 def strip_exists_prefix(formula: Formula) -> tuple:

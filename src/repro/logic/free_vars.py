@@ -2,49 +2,33 @@
 
 Substitution is capture-avoiding: bound variables are renamed (with fresh
 names) whenever a substituted term would otherwise be captured.
+
+All walkers here delegate to the shared core engine
+(:mod:`repro.core`): free variables are cached per node, and substitution
+short-circuits subtrees whose free variables are disjoint from the mapping's
+domain (returning the identical object).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Mapping, Set
+from typing import FrozenSet, Iterable, Mapping, Set
 
-from repro.errors import FormulaError
-from repro.logic.formulas import (
-    And,
-    Bottom,
-    EqUr,
-    Exists,
-    Forall,
-    Formula,
-    Member,
-    NeqUr,
-    NotMember,
-    Or,
-    Top,
-)
-from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var, term_vars
+from repro.core import node as core
+from repro.core import subst as core_subst
+from repro.logic.formulas import And, Exists, Forall, Formula, Or
+from repro.logic.terms import Term, Var
 from repro.nr.types import Type
 
 
 def free_vars_term(term: Term) -> FrozenSet[Var]:
     """Free variables of a term (all of its variables)."""
-    return term_vars(term)
+    return core.free_vars(term)
 
 
 def free_vars(formula: Formula) -> FrozenSet[Var]:
-    """Free variables of an (extended) Δ0 formula."""
-    if isinstance(formula, (EqUr, NeqUr)):
-        return term_vars(formula.left) | term_vars(formula.right)
-    if isinstance(formula, (Member, NotMember)):
-        return term_vars(formula.elem) | term_vars(formula.collection)
-    if isinstance(formula, (Top, Bottom)):
-        return frozenset()
-    if isinstance(formula, (And, Or)):
-        return free_vars(formula.left) | free_vars(formula.right)
-    if isinstance(formula, (Forall, Exists)):
-        return term_vars(formula.bound) | (free_vars(formula.body) - {formula.var})
-    raise FormulaError(f"unknown formula {formula!r}")
+    """Free variables of an (extended) Δ0 formula (cached per node)."""
+    return core.free_vars(formula)
 
 
 class FreshNames:
@@ -74,102 +58,41 @@ class FreshNames:
 
 def fresh_var(base: str, typ: Type, avoid: Iterable[Var]) -> Var:
     """A variable named after ``base`` whose name differs from all in ``avoid``."""
-    names = {v.name for v in avoid}
-    if base not in names:
-        return Var(base, typ)
-    for i in itertools.count(1):
-        candidate = f"{base}_{i}"
-        if candidate not in names:
-            return Var(candidate, typ)
-    raise RuntimeError("unreachable")
+    return Var(core_subst.fresh_name(base, {v.name for v in avoid}), typ)
 
 
 def substitute_term(term: Term, mapping: Mapping[Var, Term]) -> Term:
     """Apply a simultaneous variable → term substitution inside a term."""
-    if isinstance(term, Var):
-        return mapping.get(term, term)
-    if isinstance(term, UnitTerm):
-        return term
-    if isinstance(term, PairTerm):
-        return PairTerm(substitute_term(term.left, mapping), substitute_term(term.right, mapping))
-    if isinstance(term, Proj):
-        return Proj(term.index, substitute_term(term.arg, mapping))
-    raise FormulaError(f"unknown term {term!r}")
+    return core_subst.substitute(term, mapping)
 
 
 def substitute_many(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
     """Capture-avoiding simultaneous substitution in an (extended) Δ0 formula."""
-    mapping = {var: term for var, term in mapping.items() if var != term}
-    if not mapping:
-        return formula
-    if isinstance(formula, EqUr):
-        return EqUr(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
-    if isinstance(formula, NeqUr):
-        return NeqUr(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
-    if isinstance(formula, Member):
-        return Member(substitute_term(formula.elem, mapping), substitute_term(formula.collection, mapping))
-    if isinstance(formula, NotMember):
-        return NotMember(substitute_term(formula.elem, mapping), substitute_term(formula.collection, mapping))
-    if isinstance(formula, (Top, Bottom)):
-        return formula
-    if isinstance(formula, And):
-        return And(substitute_many(formula.left, mapping), substitute_many(formula.right, mapping))
-    if isinstance(formula, Or):
-        return Or(substitute_many(formula.left, mapping), substitute_many(formula.right, mapping))
-    if isinstance(formula, (Forall, Exists)):
-        constructor = Forall if isinstance(formula, Forall) else Exists
-        bound = substitute_term(formula.bound, mapping)
-        inner_mapping = {v: t for v, t in mapping.items() if v != formula.var}
-        # Rename the bound variable if it would capture a free variable of the
-        # substituted terms.
-        incoming_vars: Set[Var] = set()
-        for target in inner_mapping.values():
-            incoming_vars |= term_vars(target)
-        binder = formula.var
-        body = formula.body
-        if binder in incoming_vars:
-            avoid = set(incoming_vars) | free_vars(formula.body) | set(inner_mapping)
-            renamed = fresh_var(binder.name, binder.typ, avoid)
-            body = substitute_many(body, {binder: renamed})
-            binder = renamed
-        if not inner_mapping:
-            return constructor(binder, bound, body)
-        return constructor(binder, bound, substitute_many(body, inner_mapping))
-    raise FormulaError(f"unknown formula {formula!r}")
+    return core_subst.substitute(formula, mapping)
 
 
 def substitute(formula: Formula, var: Var, term: Term) -> Formula:
     """Capture-avoiding substitution of ``term`` for ``var`` in ``formula``."""
-    return substitute_many(formula, {var: term})
+    return core_subst.substitute(formula, {var: term})
 
 
 def rename_bound(formula: Formula, names: FreshNames) -> Formula:
     """Alpha-rename every bound variable of ``formula`` to a globally fresh name."""
-    if isinstance(formula, (EqUr, NeqUr, Top, Bottom, Member, NotMember)):
-        return formula
-    if isinstance(formula, And):
-        return And(rename_bound(formula.left, names), rename_bound(formula.right, names))
-    if isinstance(formula, Or):
-        return Or(rename_bound(formula.left, names), rename_bound(formula.right, names))
     if isinstance(formula, (Forall, Exists)):
         constructor = Forall if isinstance(formula, Forall) else Exists
         fresh = names.fresh_var(formula.var.name, formula.var.typ)
         body = substitute(formula.body, formula.var, fresh)
         return constructor(fresh, formula.bound, rename_bound(body, names))
-    raise FormulaError(f"unknown formula {formula!r}")
+    if isinstance(formula, And):
+        return And(rename_bound(formula.left, names), rename_bound(formula.right, names))
+    if isinstance(formula, Or):
+        return Or(rename_bound(formula.left, names), rename_bound(formula.right, names))
+    return formula
 
 
 def replace_term_in_term(term: Term, old: Term, new: Term) -> Term:
     """Replace every occurrence of the subterm ``old`` in ``term`` by ``new``."""
-    if term == old:
-        return new
-    if isinstance(term, (Var, UnitTerm)):
-        return term
-    if isinstance(term, PairTerm):
-        return PairTerm(replace_term_in_term(term.left, old, new), replace_term_in_term(term.right, old, new))
-    if isinstance(term, Proj):
-        return Proj(term.index, replace_term_in_term(term.arg, old, new))
-    raise FormulaError(f"unknown term {term!r}")
+    return core_subst.replace_subtree(term, old, new)
 
 
 def replace_term(formula: Formula, old: Term, new: Term) -> Formula:
@@ -180,28 +103,17 @@ def replace_term(formula: Formula, old: Term, new: Term) -> Formula:
     ``new`` is not captured (the calculus only replaces by fresh variables or
     equal-sorted terms over the same free variables).
     """
-    if isinstance(formula, EqUr):
-        return EqUr(replace_term_in_term(formula.left, old, new), replace_term_in_term(formula.right, old, new))
-    if isinstance(formula, NeqUr):
-        return NeqUr(replace_term_in_term(formula.left, old, new), replace_term_in_term(formula.right, old, new))
-    if isinstance(formula, Member):
-        return Member(replace_term_in_term(formula.elem, old, new), replace_term_in_term(formula.collection, old, new))
-    if isinstance(formula, NotMember):
-        return NotMember(replace_term_in_term(formula.elem, old, new), replace_term_in_term(formula.collection, old, new))
-    if isinstance(formula, (Top, Bottom)):
-        return formula
-    if isinstance(formula, And):
-        return And(replace_term(formula.left, old, new), replace_term(formula.right, old, new))
-    if isinstance(formula, Or):
-        return Or(replace_term(formula.left, old, new), replace_term(formula.right, old, new))
-    if isinstance(formula, (Forall, Exists)):
-        constructor = Forall if isinstance(formula, Forall) else Exists
-        if isinstance(old, Var) and formula.var == old:
-            # The binder shadows the replaced variable: only the bound term is affected.
-            return constructor(formula.var, replace_term_in_term(formula.bound, old, new), formula.body)
-        return constructor(
-            formula.var,
-            replace_term_in_term(formula.bound, old, new),
-            replace_term(formula.body, old, new),
-        )
-    raise FormulaError(f"unknown formula {formula!r}")
+    return core_subst.replace_subtree(formula, old, new)
+
+
+def beta_normalize_formula(formula: Formula) -> Formula:
+    """Normalize every ``πi(<t1,t2>)`` redex in the terms of ``formula``."""
+    return core.transform_bottom_up(formula, _beta_step)
+
+
+def _beta_step(node: core.Node) -> core.Node:
+    from repro.logic.terms import PairTerm, Proj
+
+    if isinstance(node, Proj) and isinstance(node.arg, PairTerm):
+        return node.arg.left if node.index == 1 else node.arg.right
+    return node

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.core import node as core
 from repro.errors import FormulaError, TypeMismatchError
 from repro.logic.formulas import (
     And,
@@ -38,28 +39,39 @@ from repro.nr.types import ProdType, SetType, Type, UnitType, UrType
 
 
 def negate(formula: Formula) -> Formula:
-    """Negation as a macro: dualize every connective (Section 3)."""
-    if isinstance(formula, EqUr):
-        return NeqUr(formula.left, formula.right)
-    if isinstance(formula, NeqUr):
-        return EqUr(formula.left, formula.right)
-    if isinstance(formula, Member):
-        return NotMember(formula.elem, formula.collection)
-    if isinstance(formula, NotMember):
-        return Member(formula.elem, formula.collection)
-    if isinstance(formula, Top):
+    """Negation as a macro: dualize every connective (Section 3).
+
+    Runs as a single bottom-up fold on the core engine (iterative, so deep
+    formulas do not overflow the stack); terms are left untouched.
+    """
+    return core.fold(formula, _negate_combine)
+
+
+def _negate_combine(node: core.Node, negated: tuple) -> core.Node:
+    if isinstance(node, Term):
+        return node
+    if isinstance(node, EqUr):
+        return NeqUr(node.left, node.right)
+    if isinstance(node, NeqUr):
+        return EqUr(node.left, node.right)
+    if isinstance(node, Member):
+        return NotMember(node.elem, node.collection)
+    if isinstance(node, NotMember):
+        return Member(node.elem, node.collection)
+    if isinstance(node, Top):
         return Bottom()
-    if isinstance(formula, Bottom):
+    if isinstance(node, Bottom):
         return Top()
-    if isinstance(formula, And):
-        return Or(negate(formula.left), negate(formula.right))
-    if isinstance(formula, Or):
-        return And(negate(formula.left), negate(formula.right))
-    if isinstance(formula, Forall):
-        return Exists(formula.var, formula.bound, negate(formula.body))
-    if isinstance(formula, Exists):
-        return Forall(formula.var, formula.bound, negate(formula.body))
-    raise FormulaError(f"unknown formula {formula!r}")
+    if isinstance(node, And):
+        return Or(negated[0], negated[1])
+    if isinstance(node, Or):
+        return And(negated[0], negated[1])
+    if isinstance(node, Forall):
+        # children are (bound, body): the bound term folds to itself.
+        return Exists(node.var, negated[0], negated[1])
+    if isinstance(node, Exists):
+        return Forall(node.var, negated[0], negated[1])
+    raise FormulaError(f"unknown formula {node!r}")
 
 
 def implies(antecedent: Formula, consequent: Formula) -> Formula:

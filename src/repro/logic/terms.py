@@ -7,19 +7,25 @@ Terms are built from typed variables using tupling and projections
 
 Each variable carries its type, so terms are intrinsically typed and
 ``term_type`` never needs an environment.
+
+Terms implement the :class:`repro.core.Node` protocol; all traversals
+(variables, sizes, typing, normalization) run on the shared core engine and
+are cached per node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Tuple
 
+from repro.core import node as core
+from repro.core.interning import install_hash_cache, install_str_cache
 from repro.errors import TypeMismatchError
-from repro.nr.types import ProdType, Type, UnitType, UNIT
+from repro.nr.types import ProdType, Type, UNIT
 
 
 @dataclass(frozen=True)
-class Term:
+class Term(core.Node):
     """Base class of Δ0 terms."""
 
 
@@ -30,6 +36,9 @@ class Var(Term):
     name: str
     typ: Type
 
+    is_variable = True
+    children = core.leaf_children
+
     def __str__(self) -> str:
         return self.name
 
@@ -37,6 +46,8 @@ class Var(Term):
 @dataclass(frozen=True)
 class UnitTerm(Term):
     """The unit term ``()``."""
+
+    children = core.leaf_children
 
     def __str__(self) -> str:
         return "()"
@@ -48,6 +59,12 @@ class PairTerm(Term):
 
     left: Term
     right: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[Term, ...]) -> "PairTerm":
+        return PairTerm(children[0], children[1])
 
     def __str__(self) -> str:
         return f"<{self.left}, {self.right}>"
@@ -64,8 +81,18 @@ class Proj(Term):
         if self.index not in (1, 2):
             raise TypeMismatchError(f"projection index must be 1 or 2, got {self.index}")
 
+    def children(self) -> Tuple[Term, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[Term, ...]) -> "Proj":
+        return Proj(self.index, children[0])
+
     def __str__(self) -> str:
         return f"pi{self.index}({self.arg})"
+
+
+install_hash_cache(Var, UnitTerm, PairTerm, Proj)
+install_str_cache(PairTerm, Proj)
 
 
 def proj1(term: Term) -> Proj:
@@ -78,55 +105,45 @@ def proj2(term: Term) -> Proj:
     return Proj(2, term)
 
 
-def term_type(term: Term) -> Type:
-    """The type of a term (raises ``TypeMismatchError`` if ill-typed)."""
+def _type_combine(term: Term, child_types: Tuple[Type, ...]) -> Type:
     if isinstance(term, Var):
         return term.typ
     if isinstance(term, UnitTerm):
         return UNIT
     if isinstance(term, PairTerm):
-        return ProdType(term_type(term.left), term_type(term.right))
+        return ProdType(child_types[0], child_types[1])
     if isinstance(term, Proj):
-        inner = term_type(term.arg)
+        inner = child_types[0]
         if not isinstance(inner, ProdType):
             raise TypeMismatchError(f"projection of non-product term {term.arg} : {inner}")
         return inner.left if term.index == 1 else inner.right
     raise TypeMismatchError(f"unknown term {term!r}")
 
 
+def term_type(term: Term) -> Type:
+    """The type of a term (raises ``TypeMismatchError`` if ill-typed).
+
+    Memoized per node on the shared core caches.
+    """
+    return core.cached_fold(term, "_typ", _type_combine)
+
+
 def term_vars(term: Term) -> FrozenSet[Var]:
-    """The set of variables occurring in ``term``."""
-    if isinstance(term, Var):
-        return frozenset({term})
-    if isinstance(term, UnitTerm):
-        return frozenset()
-    if isinstance(term, PairTerm):
-        return term_vars(term.left) | term_vars(term.right)
-    if isinstance(term, Proj):
-        return term_vars(term.arg)
-    raise TypeMismatchError(f"unknown term {term!r}")
+    """The set of variables occurring in ``term`` (cached per node)."""
+    return core.free_vars(term)
 
 
 def term_size(term: Term) -> int:
-    """Number of constructors in ``term``."""
-    if isinstance(term, (Var, UnitTerm)):
-        return 1
-    if isinstance(term, PairTerm):
-        return 1 + term_size(term.left) + term_size(term.right)
-    if isinstance(term, Proj):
-        return 1 + term_size(term.arg)
-    raise TypeMismatchError(f"unknown term {term!r}")
+    """Number of constructors in ``term`` (cached per node)."""
+    return core.node_size(term)
+
+
+def _beta_step(term: Term) -> Term:
+    if isinstance(term, Proj) and isinstance(term.arg, PairTerm):
+        return term.arg.left if term.index == 1 else term.arg.right
+    return term
 
 
 def beta_normalize_term(term: Term) -> Term:
     """Simplify projections applied to explicit pairs: ``πi(<t1,t2>) → ti``."""
-    if isinstance(term, (Var, UnitTerm)):
-        return term
-    if isinstance(term, PairTerm):
-        return PairTerm(beta_normalize_term(term.left), beta_normalize_term(term.right))
-    if isinstance(term, Proj):
-        arg = beta_normalize_term(term.arg)
-        if isinstance(arg, PairTerm):
-            return arg.left if term.index == 1 else arg.right
-        return Proj(term.index, arg)
-    raise TypeMismatchError(f"unknown term {term!r}")
+    return core.transform_bottom_up(term, _beta_step)

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import FrozenSet, Hashable, Iterable, Iterator, List, Tuple
 
+from repro.core.interning import install_hash_cache
 from repro.errors import TypeMismatchError
 from repro.nr.types import ProdType, SetType, Type, UnitType, UrType
 
@@ -75,6 +76,13 @@ class SetValue(Value):
 
     def __contains__(self, item: Value) -> bool:
         return item in self.elements
+
+
+# Ur-elements are the only values that persist across evaluator runs (inputs
+# are built once, outputs are rebuilt); caching their hash speeds up every
+# frozenset the evaluator builds around them without taxing the short-lived
+# pair/set wrappers with a wrapper-call on their single hashing.
+install_hash_cache(UrValue)
 
 
 def unit() -> UnitValue:

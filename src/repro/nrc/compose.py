@@ -3,93 +3,30 @@
 The paper notes that NRC is efficiently closed under composition: given
 ``E(x, ...)`` and ``F(ī)`` with matching types, ``E(F)`` is an NRC expression.
 Composition is capture-avoiding substitution of ``F`` for ``x`` in ``E``.
+
+Both walkers delegate to the shared core engine: free variables are cached
+per node, and substitution short-circuits subtrees that cannot be affected.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import FrozenSet, Mapping, Set
+from typing import FrozenSet, Mapping
 
+from repro.core import node as core
+from repro.core import subst as core_subst
 from repro.errors import TypeMismatchError
-from repro.nrc.expr import (
-    NBigUnion,
-    NDiff,
-    NEmpty,
-    NGet,
-    NPair,
-    NProj,
-    NRCExpr,
-    NSingleton,
-    NUnion,
-    NUnit,
-    NVar,
-)
+from repro.nrc.expr import NRCExpr, NVar
 from repro.nrc.typing import infer_type
 
 
 def nrc_free_vars(expr: NRCExpr) -> FrozenSet[NVar]:
-    """Free variables of an NRC expression."""
-    if isinstance(expr, NVar):
-        return frozenset({expr})
-    if isinstance(expr, (NUnit, NEmpty)):
-        return frozenset()
-    if isinstance(expr, (NPair, NUnion, NDiff)):
-        return nrc_free_vars(expr.left) | nrc_free_vars(expr.right)
-    if isinstance(expr, (NProj, NSingleton, NGet)):
-        return nrc_free_vars(expr.arg)
-    if isinstance(expr, NBigUnion):
-        return nrc_free_vars(expr.source) | (nrc_free_vars(expr.body) - {expr.var})
-    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
-
-
-def _fresh_nvar(base: str, typ, avoid: Set[str]) -> NVar:
-    if base not in avoid:
-        return NVar(base, typ)
-    for i in itertools.count(1):
-        candidate = f"{base}_{i}"
-        if candidate not in avoid:
-            return NVar(candidate, typ)
-    raise RuntimeError("unreachable")
+    """Free variables of an NRC expression (cached per node)."""
+    return core.free_vars(expr)
 
 
 def nrc_substitute(expr: NRCExpr, mapping: Mapping[NVar, NRCExpr]) -> NRCExpr:
     """Capture-avoiding simultaneous substitution of expressions for variables."""
-    mapping = {var: target for var, target in mapping.items() if var != target}
-    if not mapping:
-        return expr
-    if isinstance(expr, NVar):
-        return mapping.get(expr, expr)
-    if isinstance(expr, (NUnit, NEmpty)):
-        return expr
-    if isinstance(expr, NPair):
-        return NPair(nrc_substitute(expr.left, mapping), nrc_substitute(expr.right, mapping))
-    if isinstance(expr, NUnion):
-        return NUnion(nrc_substitute(expr.left, mapping), nrc_substitute(expr.right, mapping))
-    if isinstance(expr, NDiff):
-        return NDiff(nrc_substitute(expr.left, mapping), nrc_substitute(expr.right, mapping))
-    if isinstance(expr, NProj):
-        return NProj(expr.index, nrc_substitute(expr.arg, mapping))
-    if isinstance(expr, NSingleton):
-        return NSingleton(nrc_substitute(expr.arg, mapping))
-    if isinstance(expr, NGet):
-        return NGet(nrc_substitute(expr.arg, mapping))
-    if isinstance(expr, NBigUnion):
-        source = nrc_substitute(expr.source, mapping)
-        inner_mapping = {v: t for v, t in mapping.items() if v != expr.var}
-        incoming: Set[NVar] = set()
-        for target in inner_mapping.values():
-            incoming |= nrc_free_vars(target)
-        binder = expr.var
-        body = expr.body
-        if binder in incoming:
-            avoid = {v.name for v in incoming | nrc_free_vars(expr.body)} | {v.name for v in inner_mapping}
-            renamed = _fresh_nvar(binder.name, binder.typ, avoid)
-            body = nrc_substitute(body, {binder: renamed})
-            binder = renamed
-        if not inner_mapping:
-            return NBigUnion(body, binder, source)
-        return NBigUnion(nrc_substitute(body, inner_mapping), binder, source)
-    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+    return core_subst.substitute(expr, mapping)
 
 
 def compose(outer: NRCExpr, var: NVar, inner: NRCExpr) -> NRCExpr:
@@ -99,4 +36,4 @@ def compose(outer: NRCExpr, var: NVar, inner: NRCExpr) -> NRCExpr:
         raise TypeMismatchError(
             f"cannot compose: {inner} has type {inner_type}, but variable {var} has type {var.typ}"
         )
-    return nrc_substitute(outer, {var: inner})
+    return core_subst.substitute(outer, {var: inner})

@@ -8,19 +8,25 @@
 
 Expressions are immutable dataclasses; variables carry their types, so type
 inference (:mod:`repro.nrc.typing`) needs no environment.
+
+Expressions implement the :class:`repro.core.Node` protocol; sizes and
+subexpression walks run iteratively on the shared core engine (deep chains do
+not overflow the Python stack) and are cached per node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Tuple
 
+from repro.core import node as core
+from repro.core.interning import install_hash_cache
 from repro.errors import TypeMismatchError
 from repro.nr.types import Type
 
 
 @dataclass(frozen=True)
-class NRCExpr:
+class NRCExpr(core.Node):
     """Base class of NRC expressions."""
 
 
@@ -31,6 +37,9 @@ class NVar(NRCExpr):
     name: str
     typ: Type
 
+    is_variable = True
+    children = core.leaf_children
+
     def __str__(self) -> str:
         return self.name
 
@@ -38,6 +47,8 @@ class NVar(NRCExpr):
 @dataclass(frozen=True)
 class NUnit(NRCExpr):
     """The unit expression ``()``."""
+
+    children = core.leaf_children
 
     def __str__(self) -> str:
         return "()"
@@ -49,6 +60,12 @@ class NPair(NRCExpr):
 
     left: NRCExpr
     right: NRCExpr
+
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NPair":
+        return NPair(children[0], children[1])
 
     def __str__(self) -> str:
         return f"<{self.left}, {self.right}>"
@@ -65,6 +82,12 @@ class NProj(NRCExpr):
         if self.index not in (1, 2):
             raise TypeMismatchError(f"projection index must be 1 or 2, got {self.index}")
 
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NProj":
+        return NProj(self.index, children[0])
+
     def __str__(self) -> str:
         return f"pi{self.index}({self.arg})"
 
@@ -75,6 +98,12 @@ class NSingleton(NRCExpr):
 
     arg: NRCExpr
 
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NSingleton":
+        return NSingleton(children[0])
+
     def __str__(self) -> str:
         return f"{{{self.arg}}}"
 
@@ -84,6 +113,12 @@ class NGet(NRCExpr):
     """``get_T``: extract the unique element of a singleton set (default otherwise)."""
 
     arg: NRCExpr
+
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NGet":
+        return NGet(children[0])
 
     def __str__(self) -> str:
         return f"get({self.arg})"
@@ -97,6 +132,21 @@ class NBigUnion(NRCExpr):
     var: "NVar"
     source: NRCExpr
 
+    body_index = 0
+
+    @property
+    def binder(self) -> "NVar":
+        return self.var
+
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.body, self.source)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NBigUnion":
+        return NBigUnion(children[0], self.var, children[1])
+
+    def rebuild_binder(self, var: "NVar", children: Tuple[NRCExpr, ...]) -> "NBigUnion":
+        return NBigUnion(children[0], var, children[1])
+
     def __str__(self) -> str:
         return f"U{{{self.body} | {self.var} in {self.source}}}"
 
@@ -106,6 +156,8 @@ class NEmpty(NRCExpr):
     """The empty set ``∅`` of element type ``elem_type``."""
 
     elem_type: Type
+
+    children = core.leaf_children
 
     def __str__(self) -> str:
         return "{}"
@@ -118,6 +170,12 @@ class NUnion(NRCExpr):
     left: NRCExpr
     right: NRCExpr
 
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NUnion":
+        return NUnion(children[0], children[1])
+
     def __str__(self) -> str:
         return f"({self.left} u {self.right})"
 
@@ -129,31 +187,29 @@ class NDiff(NRCExpr):
     left: NRCExpr
     right: NRCExpr
 
+    def children(self) -> Tuple[NRCExpr, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NRCExpr, ...]) -> "NDiff":
+        return NDiff(children[0], children[1])
+
     def __str__(self) -> str:
         return f"({self.left} \\ {self.right})"
 
 
+install_hash_cache(
+    NVar, NUnit, NPair, NProj, NSingleton, NGet, NBigUnion, NEmpty, NUnion, NDiff
+)
+
+
 def expr_size(expr: NRCExpr) -> int:
-    """Number of constructors in ``expr``."""
-    if isinstance(expr, (NVar, NUnit, NEmpty)):
-        return 1
-    if isinstance(expr, (NPair, NUnion, NDiff)):
-        return 1 + expr_size(expr.left) + expr_size(expr.right)
-    if isinstance(expr, (NProj, NSingleton, NGet)):
-        return 1 + expr_size(expr.arg)
-    if isinstance(expr, NBigUnion):
-        return 1 + expr_size(expr.body) + expr_size(expr.source)
-    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+    """Number of constructors in ``expr`` (cached per node, iterative)."""
+    return core.node_size(expr)
 
 
 def subexpressions(expr: NRCExpr) -> Iterator[NRCExpr]:
-    """Yield every subexpression of ``expr`` (including itself), pre-order."""
-    yield expr
-    if isinstance(expr, (NPair, NUnion, NDiff)):
-        yield from subexpressions(expr.left)
-        yield from subexpressions(expr.right)
-    elif isinstance(expr, (NProj, NSingleton, NGet)):
-        yield from subexpressions(expr.arg)
-    elif isinstance(expr, NBigUnion):
-        yield from subexpressions(expr.body)
-        yield from subexpressions(expr.source)
+    """Yield every subexpression of ``expr`` (including itself), pre-order.
+
+    Iterative via the core walk: safe on arbitrarily deep expressions.
+    """
+    return core.walk(expr)

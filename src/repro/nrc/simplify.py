@@ -1,17 +1,25 @@
 """Algebraic simplification of NRC expressions.
 
 Synthesized definitions (Section 6) contain many vacuous unions with ∅,
-comprehensions over singletons and similar redundancies.  ``simplify`` applies
-a terminating set of semantics-preserving rewrite rules bottom-up until a
-fixpoint is reached.  Every rule preserves the evaluation semantics of
-:mod:`repro.nrc.eval` (tested in ``tests/test_nrc_simplify.py``, including a
-hypothesis property test).
+comprehensions over singletons and similar redundancies.  ``simplify`` runs a
+named, terminating rule set on the shared :class:`repro.core.RewriteEngine`:
+bottom-up passes repeat until a fixpoint, detected by pointer identity thanks
+to the engine's identity-preserving rebuilding.  Every rule preserves the
+evaluation semantics of :mod:`repro.nrc.eval` (tested differentially against
+the frozen seed semantics in ``tests/test_core_property.py``).
+
+Per-run statistics (which rule fired how often, how many passes) are exposed
+via :func:`simplify_with_stats`.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
+from repro.core.engine import RewriteEngine, RewriteStats
+from repro.core.node import cached_fold
 from repro.errors import TypeMismatchError
-from repro.nr.types import SetType
+from repro.nr.types import ProdType, SetType, Type, UnitType
 from repro.nrc.compose import nrc_free_vars, nrc_substitute
 from repro.nrc.expr import (
     NBigUnion,
@@ -24,46 +32,8 @@ from repro.nrc.expr import (
     NSingleton,
     NUnion,
     NUnit,
-    NVar,
-    expr_size,
 )
 from repro.nrc.typing import infer_type
-
-
-def simplify(expr: NRCExpr, max_rounds: int = 50) -> NRCExpr:
-    """Simplify ``expr`` by repeated bottom-up rewriting (semantics-preserving)."""
-    current = expr
-    for _ in range(max_rounds):
-        simplified = _simplify_once(current)
-        if simplified == current:
-            return current
-        current = simplified
-    return current
-
-
-def _simplify_once(expr: NRCExpr) -> NRCExpr:
-    expr = _map_children(expr, _simplify_once)
-    return _rewrite(expr)
-
-
-def _map_children(expr: NRCExpr, fn) -> NRCExpr:
-    if isinstance(expr, (NVar, NUnit, NEmpty)):
-        return expr
-    if isinstance(expr, NPair):
-        return NPair(fn(expr.left), fn(expr.right))
-    if isinstance(expr, NUnion):
-        return NUnion(fn(expr.left), fn(expr.right))
-    if isinstance(expr, NDiff):
-        return NDiff(fn(expr.left), fn(expr.right))
-    if isinstance(expr, NProj):
-        return NProj(expr.index, fn(expr.arg))
-    if isinstance(expr, NSingleton):
-        return NSingleton(fn(expr.arg))
-    if isinstance(expr, NGet):
-        return NGet(fn(expr.arg))
-    if isinstance(expr, NBigUnion):
-        return NBigUnion(fn(expr.body), expr.var, fn(expr.source))
-    raise TypeMismatchError(f"unknown NRC expression {expr!r}")
 
 
 def _empty_of(expr: NRCExpr) -> NEmpty:
@@ -73,41 +43,196 @@ def _empty_of(expr: NRCExpr) -> NEmpty:
     return NEmpty(typ.elem)
 
 
-def _rewrite(expr: NRCExpr) -> NRCExpr:
+def default_expr(typ: Type) -> Optional[NRCExpr]:
+    """An NRC expression denoting ``default_value(typ)``, when one exists.
+
+    ``Ur`` defaults are an arbitrary atom with no NRC constant, so types
+    containing ``Ur`` outside a set constructor are not expressible.
+    """
+    if isinstance(typ, UnitType):
+        return NUnit()
+    if isinstance(typ, SetType):
+        return NEmpty(typ.elem)
+    if isinstance(typ, ProdType):
+        left = default_expr(typ.left)
+        right = default_expr(typ.right)
+        if left is not None and right is not None:
+            return NPair(left, right)
+    return None
+
+
+# ------------------------------------------------------------------- rules
+# Every rule sees a node whose children are already simplified and returns a
+# replacement or None.  Names appear in the per-run RewriteStats.
+
+
+def _rule_proj_pair(expr: NRCExpr) -> Optional[NRCExpr]:
+    """π_i(<l, r>) → l/r."""
     if isinstance(expr, NProj) and isinstance(expr.arg, NPair):
         return expr.arg.left if expr.index == 1 else expr.arg.right
+    return None
+
+
+def _rule_pair_eta(expr: NRCExpr) -> Optional[NRCExpr]:
+    """<π1(e), π2(e)> → e for ``NBigUnion``-free ``e`` (surjective pairing).
+
+    Restricted to binder-free ``e``: the rule erases one of two copies of
+    ``e``, and contracting under duplicated binding unions could hide a
+    rewrite opportunity the per-copy rules would have found first.
+    """
+    if (
+        isinstance(expr, NPair)
+        and isinstance(expr.left, NProj)
+        and isinstance(expr.right, NProj)
+        and expr.left.index == 1
+        and expr.right.index == 2
+        and expr.left.arg == expr.right.arg
+        and not _has_bigunion(expr.left.arg)
+    ):
+        try:
+            if isinstance(infer_type(expr.left.arg), ProdType):
+                return expr.left.arg
+        except TypeMismatchError:
+            return None
+    return None
+
+
+def _rule_get_singleton(expr: NRCExpr) -> Optional[NRCExpr]:
+    """get({e}) → e."""
     if isinstance(expr, NGet) and isinstance(expr.arg, NSingleton):
         return expr.arg.arg
+    return None
+
+
+def _rule_get_empty(expr: NRCExpr) -> Optional[NRCExpr]:
+    """get(∅_T) → default_T, when the default value has an NRC spelling."""
+    if isinstance(expr, NGet) and isinstance(expr.arg, NEmpty):
+        return default_expr(expr.arg.elem_type)
+    return None
+
+
+def _rule_union_identity(expr: NRCExpr) -> Optional[NRCExpr]:
+    """∅ ∪ e → e, e ∪ ∅ → e, e ∪ e → e."""
     if isinstance(expr, NUnion):
         if isinstance(expr.left, NEmpty):
             return expr.right
         if isinstance(expr.right, NEmpty):
             return expr.left
-        if expr.left == expr.right:
+        if expr.left is expr.right or expr.left == expr.right:
             return expr.left
+    return None
+
+
+def _rule_diff_identity(expr: NRCExpr) -> Optional[NRCExpr]:
+    """∅ \\ e → ∅, e \\ ∅ → e, e \\ e → ∅."""
     if isinstance(expr, NDiff):
         if isinstance(expr.left, NEmpty):
             return expr.left
         if isinstance(expr.right, NEmpty):
             return expr.left
-        if expr.left == expr.right:
+        if expr.left is expr.right or expr.left == expr.right:
             return _empty_of(expr.left)
+    return None
+
+
+def _rule_bigunion_empty(expr: NRCExpr) -> Optional[NRCExpr]:
+    """U{ body | x ∈ ∅ } → ∅ and U{ ∅ | x ∈ src } → ∅."""
     if isinstance(expr, NBigUnion):
-        # U{ body | x in {} }  ->  {}
         if isinstance(expr.source, NEmpty):
             return _empty_of(expr)
-        # U{ {} | x in src }  ->  {}
         if isinstance(expr.body, NEmpty):
             return NEmpty(expr.body.elem_type)
-        # U{ body | x in {e} }  ->  body[e/x]
-        if isinstance(expr.source, NSingleton):
-            return nrc_substitute(expr.body, {expr.var: expr.source.arg})
-        # U{ {x} | x in src }  ->  src
-        if isinstance(expr.body, NSingleton) and expr.body.arg == expr.var:
-            return expr.source
-        # body does not use the bound variable and source is the Boolean true {()}
-        if expr.var not in nrc_free_vars(expr.body) and isinstance(expr.source, NSingleton):
-            return expr.body
-        # U{ U{ body | y in inner } | x in src } with x not free in body:
-        # no simplification here (kept explicit to avoid capture subtleties).
-    return expr
+    return None
+
+
+def _rule_bigunion_unit_source(expr: NRCExpr) -> Optional[NRCExpr]:
+    """U{ body | x ∈ {()} } → body when x is not free in body.
+
+    This replaces the seed's dead branch (its guard required an ``NSingleton``
+    source *after* the generic singleton-substitution rule had already fired,
+    so it could never be reached).  The Boolean-true source ``{()}`` is the
+    common case produced by the ``and_expr``/``cond_set`` macros.
+    """
+    if (
+        isinstance(expr, NBigUnion)
+        and isinstance(expr.source, NSingleton)
+        and isinstance(expr.source.arg, NUnit)
+        and expr.var not in nrc_free_vars(expr.body)
+    ):
+        return expr.body
+    return None
+
+
+def _rule_bigunion_singleton_source(expr: NRCExpr) -> Optional[NRCExpr]:
+    """U{ body | x ∈ {e} } → body[e/x]."""
+    if isinstance(expr, NBigUnion) and isinstance(expr.source, NSingleton):
+        return nrc_substitute(expr.body, {expr.var: expr.source.arg})
+    return None
+
+
+def _rule_bigunion_eta(expr: NRCExpr) -> Optional[NRCExpr]:
+    """U{ {x} | x ∈ src } → src."""
+    if isinstance(expr, NBigUnion) and isinstance(expr.body, NSingleton) and expr.body.arg == expr.var:
+        return expr.source
+    return None
+
+
+def _rule_bigunion_flatten(expr: NRCExpr) -> Optional[NRCExpr]:
+    """U{ U{ body | y ∈ inner } | x ∈ src } → U{ body | y ∈ U{ inner | x ∈ src } }.
+
+    Sound whenever ``x`` is not free in ``body`` (monad associativity rotated
+    so the outer binder moves onto the source).  If ``x`` occurs in ``body``
+    it is bound by the inner binder only when ``x = y``, in which case the
+    free-variable guard already rejects the rewrite.
+    """
+    if not (isinstance(expr, NBigUnion) and isinstance(expr.body, NBigUnion)):
+        return None
+    inner = expr.body
+    if expr.var in nrc_free_vars(inner.body):
+        return None
+    return NBigUnion(inner.body, inner.var, NBigUnion(inner.source, expr.var, expr.source))
+
+
+def _has_bigunion(expr: NRCExpr) -> bool:
+    """Whether the subtree contains an ``NBigUnion`` (cached per node)."""
+    return cached_fold(expr, "_has_bigu", _has_bigunion_combine)
+
+
+def _has_bigunion_combine(node, child_values) -> bool:
+    return isinstance(node, NBigUnion) or any(child_values)
+
+
+_RULES: Tuple[Tuple[str, object, object], ...] = (
+    ("proj-pair", NProj, _rule_proj_pair),
+    ("pair-eta", NPair, _rule_pair_eta),
+    ("get-singleton", NGet, _rule_get_singleton),
+    ("get-empty", NGet, _rule_get_empty),
+    ("union-identity", NUnion, _rule_union_identity),
+    ("diff-identity", NDiff, _rule_diff_identity),
+    ("bigunion-empty", NBigUnion, _rule_bigunion_empty),
+    ("bigunion-unit-source", NBigUnion, _rule_bigunion_unit_source),
+    ("bigunion-singleton-source", NBigUnion, _rule_bigunion_singleton_source),
+    ("bigunion-eta", NBigUnion, _rule_bigunion_eta),
+    ("bigunion-flatten", NBigUnion, _rule_bigunion_flatten),
+)
+
+
+def make_engine(max_passes: int = 50) -> RewriteEngine:
+    """A fresh rewrite engine with the standard NRC simplification rules."""
+    return RewriteEngine(_RULES, max_passes=max_passes, name="nrc-simplify")
+
+
+_ENGINE = make_engine()
+
+
+def simplify(expr: NRCExpr, max_rounds: int = 50) -> NRCExpr:
+    """Simplify ``expr`` by repeated bottom-up rewriting (semantics-preserving)."""
+    if max_rounds == _ENGINE.max_passes:
+        return _ENGINE.run(expr)
+    return make_engine(max_passes=max_rounds).run(expr)
+
+
+def simplify_with_stats(expr: NRCExpr, max_rounds: int = 50) -> Tuple[NRCExpr, RewriteStats]:
+    """Like :func:`simplify`, returning the per-run rewrite statistics."""
+    engine = make_engine(max_passes=max_rounds)
+    return engine.run_with_stats(expr)

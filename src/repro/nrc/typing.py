@@ -1,9 +1,18 @@
-"""Type inference and checking for NRC expressions."""
+"""Type inference and checking for NRC expressions.
+
+``infer_type`` is memoized per node on the shared core caches (expressions
+are frozen, so the inferred type can never change) and computed iteratively,
+so repeated queries — e.g. the evaluator resolving ``get`` defaults — are
+O(1) after the first visit, and deep expressions do not overflow the stack.
+"""
 
 from __future__ import annotations
 
+from typing import Tuple
+
+from repro.core import node as core
 from repro.errors import TypeMismatchError
-from repro.nr.types import ProdType, SetType, Type, UnitType, UNIT
+from repro.nr.types import ProdType, SetType, Type, UNIT
 from repro.nrc.expr import (
     NBigUnion,
     NDiff,
@@ -21,26 +30,30 @@ from repro.nrc.expr import (
 
 def infer_type(expr: NRCExpr) -> Type:
     """Infer the output type of ``expr``; raise ``TypeMismatchError`` if ill-typed."""
+    return core.cached_fold(expr, "_typ", _infer_combine)
+
+
+def _infer_combine(expr: NRCExpr, child_types: Tuple[Type, ...]) -> Type:
     if isinstance(expr, NVar):
         return expr.typ
     if isinstance(expr, NUnit):
         return UNIT
     if isinstance(expr, NPair):
-        return ProdType(infer_type(expr.left), infer_type(expr.right))
+        return ProdType(child_types[0], child_types[1])
     if isinstance(expr, NProj):
-        inner = infer_type(expr.arg)
+        inner = child_types[0]
         if not isinstance(inner, ProdType):
             raise TypeMismatchError(f"projection of non-product expression {expr.arg} : {inner}")
         return inner.left if expr.index == 1 else inner.right
     if isinstance(expr, NSingleton):
-        return SetType(infer_type(expr.arg))
+        return SetType(child_types[0])
     if isinstance(expr, NGet):
-        inner = infer_type(expr.arg)
+        inner = child_types[0]
         if not isinstance(inner, SetType):
             raise TypeMismatchError(f"get of non-set expression {expr.arg} : {inner}")
         return inner.elem
     if isinstance(expr, NBigUnion):
-        source_type = infer_type(expr.source)
+        body_type, source_type = child_types
         if not isinstance(source_type, SetType):
             raise TypeMismatchError(f"union-bind over non-set source {expr.source} : {source_type}")
         if source_type.elem != expr.var.typ:
@@ -48,15 +61,13 @@ def infer_type(expr: NRCExpr) -> Type:
                 f"union-bind variable {expr.var} : {expr.var.typ} does not match source element "
                 f"type {source_type.elem}"
             )
-        body_type = infer_type(expr.body)
         if not isinstance(body_type, SetType):
             raise TypeMismatchError(f"union-bind body must have set type, got {body_type}")
         return body_type
     if isinstance(expr, NEmpty):
         return SetType(expr.elem_type)
     if isinstance(expr, (NUnion, NDiff)):
-        left = infer_type(expr.left)
-        right = infer_type(expr.right)
+        left, right = child_types
         if not isinstance(left, SetType) or left != right:
             raise TypeMismatchError(
                 f"union/difference operands must have the same set type, got {left} and {right}"

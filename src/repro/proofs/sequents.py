@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple
 
+from repro.core.interning import install_hash_cache
 from repro.errors import FormulaError
 from repro.logic.formulas import Formula, Member, is_delta0, is_existential_leading
 from repro.logic.free_vars import free_vars
@@ -57,13 +58,22 @@ class Sequent:
         return f"{theta} |- {delta}"
 
 
+# Sequents are used as dict keys by the proof search's failure memo; cache
+# their structural hash like every other frozen node of the system.
+install_hash_cache(Sequent)
+
+
 def sequent_free_vars(sequent: Sequent) -> FrozenSet[Var]:
-    """All free variables of a sequent."""
+    """All free variables of a sequent (cached on the frozen sequent)."""
+    cached = sequent.__dict__.get("_fv")
+    if cached is not None:
+        return cached
     result: FrozenSet[Var] = frozenset()
     for atom in sequent.theta:
         result |= free_vars(atom)
     for formula in sequent.delta:
         result |= free_vars(formula)
+    object.__setattr__(sequent, "_fv", result)
     return result
 
 

@@ -32,7 +32,7 @@ from repro.errors import ProofSearchError, SynthesisError
 from repro.interpolation.delta0 import interpolate
 from repro.interpolation.partition import LEFT, RIGHT, Partition
 from repro.logic.formulas import And, Exists, Forall, Formula, Member
-from repro.logic.free_vars import fresh_var, substitute
+from repro.logic.free_vars import beta_normalize_formula, fresh_var, substitute
 from repro.logic.macros import negate
 from repro.logic.terms import PairTerm, Var
 from repro.nr.types import ProdType, SetType, UnitType, UrType
@@ -187,7 +187,7 @@ def _synthesize_product(problem: ImplicitDefinitionProblem, search: Optional[Pro
     typ: ProdType = output.typ  # type: ignore[assignment]
     first = Var(output.name + "_1", typ.left)
     second = Var(output.name + "_2", typ.right)
-    substituted = _beta_normalize_formula(substitute(problem.phi, output, PairTerm(first, second)))
+    substituted = beta_normalize_formula(substitute(problem.phi, output, PairTerm(first, second)))
     components = []
     for component, other in ((first, second), (second, first)):
         sub_problem = ImplicitDefinitionProblem(
@@ -200,25 +200,3 @@ def _synthesize_product(problem: ImplicitDefinitionProblem, search: Optional[Pro
         result = synthesize(sub_problem, search=search)
         components.append(result.expression)
     return NPair(components[0], components[1])
-
-
-def _beta_normalize_formula(formula: Formula) -> Formula:
-    """Normalize ``πi(<t1,t2>)`` redexes introduced by the product-case substitution."""
-    from repro.logic.formulas import And as FAnd, Bottom, EqUr as FEq, Exists as FEx, Forall as FFa, NeqUr as FNeq, Or as FOr, Top as FTop
-    from repro.logic.terms import beta_normalize_term
-
-    if isinstance(formula, FEq):
-        return FEq(beta_normalize_term(formula.left), beta_normalize_term(formula.right))
-    if isinstance(formula, FNeq):
-        return FNeq(beta_normalize_term(formula.left), beta_normalize_term(formula.right))
-    if isinstance(formula, (FTop, Bottom)):
-        return formula
-    if isinstance(formula, FAnd):
-        return FAnd(_beta_normalize_formula(formula.left), _beta_normalize_formula(formula.right))
-    if isinstance(formula, FOr):
-        return FOr(_beta_normalize_formula(formula.left), _beta_normalize_formula(formula.right))
-    if isinstance(formula, FFa):
-        return FFa(formula.var, beta_normalize_term(formula.bound), _beta_normalize_formula(formula.body))
-    if isinstance(formula, FEx):
-        return FEx(formula.var, beta_normalize_term(formula.bound), _beta_normalize_formula(formula.body))
-    return formula

@@ -1,0 +1,70 @@
+"""Regression tests: deep expressions must not hit ``RecursionError``.
+
+The seed's recursive walkers overflowed the Python stack around depth ~1000;
+the core engine's iterative traversals must handle 10k-deep chains for
+``expr_size``, ``subexpressions``, ``subformulas`` and ``eval_nrc`` (and the
+simplifier, which runs on the same engine).
+"""
+
+import sys
+
+from repro.logic.formulas import EqUr, Or, formula_size, subformulas
+from repro.logic.terms import Var
+from repro.nr.types import UR
+from repro.nr.values import ur, vset
+from repro.nrc.eval import eval_nrc
+from repro.nrc.expr import NEmpty, NSingleton, NUnion, NVar, expr_size, subexpressions
+from repro.nrc.simplify import simplify
+
+DEPTH = 10_000
+
+
+def deep_union_chain(depth=DEPTH):
+    """``{x} ∪ ({x} ∪ (... ∪ S))`` nested ``depth`` times."""
+    x = NVar("x", UR)
+    expr = NVar("S", __import__("repro.nr.types", fromlist=["set_of"]).set_of(UR))
+    for _ in range(depth):
+        expr = NUnion(NSingleton(x), expr)
+    return expr, x
+
+
+def test_expr_size_iterative_on_10k_chain():
+    expr, _ = deep_union_chain()
+    assert expr_size(expr) == 3 * DEPTH + 1
+    assert sys.getrecursionlimit() < DEPTH  # the seed would have overflowed
+
+
+def test_subexpressions_iterative_on_10k_chain():
+    expr, _ = deep_union_chain()
+    count = sum(1 for _ in subexpressions(expr))
+    assert count == 3 * DEPTH + 1
+
+
+def test_eval_iterative_on_10k_chain():
+    from repro.nr.types import set_of
+
+    expr, x = deep_union_chain()
+    env = {x: ur(42), NVar("S", set_of(UR)): vset([ur(1), ur(2)])}
+    result = eval_nrc(expr, env)
+    assert result.elements == frozenset({ur(42), ur(1), ur(2)})
+
+
+def test_simplify_iterative_on_10k_chain():
+    x = NVar("x", UR)
+    expr = NEmpty(UR)
+    for _ in range(DEPTH):
+        expr = NUnion(NSingleton(x), expr)
+    simplified = simplify(expr, max_rounds=3)
+    # Every ∪ with the empty set collapses; idempotent unions collapse too.
+    assert simplified == NSingleton(x)
+
+
+def test_subformulas_iterative_on_deep_or_chain():
+    x = Var("x", UR)
+    atom = EqUr(x, x)
+    phi = atom
+    for _ in range(DEPTH):
+        phi = Or(atom, phi)
+    assert formula_size(phi) == 2 * DEPTH + 1
+    count = sum(1 for sub in subformulas(phi) if isinstance(sub, Or))
+    assert count == DEPTH

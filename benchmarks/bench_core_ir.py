@@ -40,7 +40,7 @@ SEED_BASELINE = {
 
 def measure_reference() -> dict:
     """Re-measure the frozen seed eval/simplify on the current corpus."""
-    from repro.core.reference import reference_eval_nrc, reference_simplify
+    from repro.core.reference import reference_eval_nrc
     from repro.nr.types import UR, prod, set_of
     from repro.nr.values import pair, ur, vset
     from repro.nrc.expr import NBigUnion, NPair, NProj, NSingleton, NVar

@@ -13,7 +13,7 @@ from repro.nrc.eval import eval_nrc
 from repro.nrc.expr import NBigUnion, NPair, NProj, NSingleton, NVar
 from repro.nrc.macros import comprehension
 from repro.logic.formulas import NeqUr
-from repro.logic.terms import Var, proj1, proj2
+from repro.logic.terms import Var
 
 ELEM = prod(UR, set_of(UR))
 B = NVar("B", set_of(ELEM))

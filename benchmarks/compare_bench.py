@@ -1,0 +1,125 @@
+"""CI perf-regression gate: compare a fresh benchmark report to a baseline.
+
+Both reports are JSON files produced by ``benchmarks/bench_core_ir.py`` or
+``benchmarks/bench_nrc_batch.py``.  Only **ratio** sections are compared
+(top-level keys starting with ``speedup``): ratios measure the current code
+against a reference implementation re-run in the same process, so they are
+stable across machines — unlike raw wall-clock seconds, which would make the
+gate flaky on shared CI runners.
+
+A metric regresses when the candidate ratio falls more than ``--threshold``
+(default 25%) below the committed baseline ratio.  Metrics present in the
+baseline but missing from the candidate also fail the gate.
+
+``--sections`` restricts the gate to specific ratio sections.  Use it to skip
+sections whose baseline was recorded on a different machine (e.g.
+``BENCH_core_ir.json``'s ``speedup_vs_seed``, whose denominators are the
+development-machine seed timings): gate that file on
+``speedup_vs_reference_inprocess`` only.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.25] [--sections speedup ...]
+
+Exit status 0 when no metric regresses, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def ratio_sections(report: dict) -> Dict[str, Dict[str, float]]:
+    """The comparable sections of a benchmark report: ``speedup*`` dicts."""
+    sections = {}
+    for key, value in report.items():
+        if key.startswith("speedup") and isinstance(value, dict):
+            numeric = {
+                name: float(ratio)
+                for name, ratio in value.items()
+                if isinstance(ratio, (int, float))
+            }
+            if numeric:
+                sections[key] = numeric
+    return sections
+
+
+def compare(
+    baseline: dict, candidate: dict, threshold: float, sections: List[str] = ()
+) -> Tuple[List[str], List[str]]:
+    """Return ``(lines, failures)``: a human-readable table and the failures."""
+    lines: List[str] = []
+    failures: List[str] = []
+    baseline_sections = ratio_sections(baseline)
+    if sections:
+        missing = [name for name in sections if name not in baseline_sections]
+        if missing:
+            failures.append(f"baseline report lacks requested sections {missing}")
+        baseline_sections = {
+            name: metrics for name, metrics in baseline_sections.items() if name in sections
+        }
+    if not baseline_sections:
+        failures.append("baseline report contains no speedup sections to gate on")
+        return lines, failures
+    for section, metrics in sorted(baseline_sections.items()):
+        candidate_metrics = candidate.get(section)
+        if not isinstance(candidate_metrics, dict):
+            failures.append(f"candidate report is missing section {section!r}")
+            continue
+        for name, base_ratio in sorted(metrics.items()):
+            cand_ratio = candidate_metrics.get(name)
+            if not isinstance(cand_ratio, (int, float)):
+                failures.append(f"{section}.{name}: missing from candidate report")
+                continue
+            floor = base_ratio * (1.0 - threshold)
+            status = "ok" if cand_ratio >= floor else "REGRESSED"
+            lines.append(
+                f"{status:>9}  {section}.{name}: baseline {base_ratio:.2f}x, "
+                f"candidate {cand_ratio:.2f}x (floor {floor:.2f}x)"
+            )
+            if cand_ratio < floor:
+                failures.append(
+                    f"{section}.{name} regressed: {cand_ratio:.2f}x < "
+                    f"{floor:.2f}x ({base_ratio:.2f}x - {threshold:.0%})"
+                )
+    return lines, failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json baseline")
+    parser.add_argument("candidate", type=Path, help="freshly measured report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below the baseline ratio (default 0.25)",
+    )
+    parser.add_argument(
+        "--sections",
+        nargs="*",
+        default=(),
+        help="gate only these speedup sections (default: every section in the baseline)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    lines, failures = compare(baseline, candidate, args.threshold, args.sections)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nperf gate FAILED ({args.baseline.name}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({args.baseline.name}: {len(lines)} metrics within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,7 +10,6 @@ Run with:  python examples/quickstart.py
 
 from repro.nr.values import ur, vset
 from repro.nrc.eval import eval_nrc
-from repro.nrc.expr import NVar
 from repro.nrc.printer import pretty
 from repro.proofs.prooftree import proof_size, rules_used
 from repro.proofs.search import ProofSearch

@@ -65,10 +65,16 @@ class RewriteEngine:
     def _rules_for(self, cls: type) -> Tuple[Tuple[str, Rule], ...]:
         table = self._dispatch.get(cls)
         if table is None:
+
+            def applies(target) -> bool:
+                if target is None:
+                    return True
+                return issubclass(cls, target if isinstance(target, type) else tuple(target))
+
             table = tuple(
                 (rule_name, rule)
                 for rule_name, target, rule in self.rules
-                if target is None or (issubclass(cls, target) if isinstance(target, type) else issubclass(cls, tuple(target)))
+                if applies(target)
             )
             self._dispatch[cls] = table
         return table

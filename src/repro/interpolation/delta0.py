@@ -16,7 +16,7 @@ per rule of Figure 3; the run time is linear in the size of the proof.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.errors import InterpolationError
 from repro.logic.formulas import (
@@ -32,10 +32,9 @@ from repro.logic.formulas import (
     Top,
 )
 from repro.logic.free_vars import free_vars, replace_term, substitute
-from repro.logic.terms import PairTerm, Proj, Term, Var, term_type, term_vars
-from repro.interpolation.partition import LEFT, RIGHT, Partition, Side
+from repro.logic.terms import PairTerm, Proj, Term, Var, term_vars
+from repro.interpolation.partition import LEFT, Partition, Side
 from repro.proofs.prooftree import ProofNode
-from repro.proofs.sequents import Sequent
 
 
 @dataclass(frozen=True)

@@ -10,13 +10,12 @@ knows how to propagate itself to the premises of each rule of Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from repro.errors import InterpolationError
 from repro.logic.formulas import Formula, Member
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import Var
-from repro.proofs.prooftree import ProofNode
 from repro.proofs.sequents import Sequent
 
 #: A side marker: "L" or "R".

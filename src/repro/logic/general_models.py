@@ -18,7 +18,6 @@ Two uses:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -229,7 +228,8 @@ def collapse_element(model: GeneralModel, typ: Type, element: Element) -> Value:
         first, second = model.components_of(typ, element)
         return PairValue(collapse_element(model, typ.left, first), collapse_element(model, typ.right, second))
     if isinstance(typ, SetType):
-        return SetValue(frozenset(collapse_element(model, typ.elem, member) for member in model.members_of(typ, element)))
+        members = model.members_of(typ, element)
+        return SetValue(frozenset(collapse_element(model, typ.elem, member) for member in members))
     raise TypeMismatchError(f"unknown type {typ!r}")
 
 

@@ -16,7 +16,7 @@ All macros produce plain Δ0 formulas (never primitive membership literals).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.core import node as core
 from repro.errors import FormulaError, TypeMismatchError
@@ -33,8 +33,8 @@ from repro.logic.formulas import (
     Or,
     Top,
 )
-from repro.logic.free_vars import fresh_var, free_vars_term
-from repro.logic.terms import Proj, Term, Var, term_type, term_vars
+from repro.logic.free_vars import fresh_var
+from repro.logic.terms import Proj, Term, term_type, term_vars
 from repro.nr.types import ProdType, SetType, Type, UnitType, UrType
 
 

@@ -18,7 +18,7 @@ proof of Theorem 2).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.errors import FormulaError, TypeMismatchError
 from repro.logic.formulas import Exists, Forall, Formula

@@ -5,11 +5,23 @@ An :class:`Assignment` maps variables to values; ``eval_formula`` evaluates an
 this is the "nested relation" semantics (|=nested) of the paper.  The
 non-extensional ("every model") semantics lives in
 :mod:`repro.logic.general_models`.
+
+Satisfying-assignment enumeration over whole families goes through the
+batched path: :func:`eval_formula_batch` evaluates a formula over a *column*
+of assignments at once on the interned-id substrate of
+:mod:`repro.nr.columns` (equality and membership become integer comparisons
+and binary searches; quantifiers expand rows the way the batched NRC
+evaluator expands ``NBigUnion``), and :func:`satisfying_assignments` filters
+a family with it.  The batched path requires **well-typed** formulas (as
+enforced by :func:`repro.logic.typecheck.check_formula`): unlike
+:func:`eval_formula` it does not short-circuit connectives row by row, so an
+ill-typed subformula that per-row evaluation would have skipped still gets
+evaluated.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import EvaluationError
 from repro.logic.formulas import (
@@ -26,7 +38,15 @@ from repro.logic.formulas import (
     Top,
 )
 from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var
-from repro.nr.values import PairValue, SetValue, UnitValue, UrValue, Value
+from repro.nr.columns import (
+    BatchFrame,
+    LazyColumns,
+    ValueInterner,
+    compose_rowmap,
+    gather_column,
+    shared_interner,
+)
+from repro.nr.values import PairValue, SetValue, UnitValue, Value
 
 #: A variable assignment.
 Assignment = Mapping[Var, Value]
@@ -90,3 +110,128 @@ def eval_formula(formula: Formula, env: Assignment) -> bool:
 def models(env: Assignment, *formulas: Formula) -> bool:
     """True iff the assignment satisfies every formula."""
     return all(eval_formula(formula, env) for formula in formulas)
+
+
+# =====================================================================
+# Batched (columnar) evaluation over assignment families
+# =====================================================================
+
+
+def _unbound_var(var: Var) -> None:
+    raise EvaluationError(f"unbound variable {var} : {var.typ}")
+
+
+def _var_column(var: Var, frame, base: LazyColumns, nrows: int) -> List[int]:
+    """Look up ``var`` through the quantifier frames (innermost shadows).
+
+    Free variables gather through :meth:`LazyColumns.gather`: only the base
+    rows the composed rowmap references are demanded, so a variable under a
+    quantifier whose bound set is empty on some rows is never interned (nor
+    boundness-checked) for those rows — matching per-row ``eval_formula``.
+    """
+    rowmap = None
+    while frame is not None:
+        if frame.var == var:
+            return gather_column(frame.column, rowmap)
+        rowmap = compose_rowmap(rowmap, frame.rowmap)
+        frame = frame.parent
+    if nrows == 0:
+        return []
+    return base.gather(var, rowmap)
+
+
+def _term_column(
+    term: Term, frame, base: LazyColumns, interner: ValueInterner, nrows: int
+) -> List[int]:
+    if isinstance(term, Var):
+        return _var_column(term, frame, base, nrows)
+    if isinstance(term, UnitTerm):
+        return [interner.unit_id] * nrows
+    if isinstance(term, PairTerm):
+        return interner.pair_column(
+            _term_column(term.left, frame, base, interner, nrows),
+            _term_column(term.right, frame, base, interner, nrows),
+        )
+    if isinstance(term, Proj):
+        return interner.proj_column(_term_column(term.arg, frame, base, interner, nrows), term.index)
+    raise EvaluationError(f"unknown term {term!r}")
+
+
+def _formula_column(
+    formula: Formula, frame, base: LazyColumns, interner: ValueInterner, nrows: int
+) -> List[bool]:
+    if isinstance(formula, EqUr):
+        left = _term_column(formula.left, frame, base, interner, nrows)
+        right = _term_column(formula.right, frame, base, interner, nrows)
+        return [a == b for a, b in zip(left, right)]
+    if isinstance(formula, NeqUr):
+        left = _term_column(formula.left, frame, base, interner, nrows)
+        right = _term_column(formula.right, frame, base, interner, nrows)
+        return [a != b for a, b in zip(left, right)]
+    if isinstance(formula, Member):
+        elems = _term_column(formula.elem, frame, base, interner, nrows)
+        collections = _term_column(formula.collection, frame, base, interner, nrows)
+        member = interner.member
+        return [member(e, c) for e, c in zip(elems, collections)]
+    if isinstance(formula, NotMember):
+        inner = _formula_column(Member(formula.elem, formula.collection), frame, base, interner, nrows)
+        return [not ok for ok in inner]
+    if isinstance(formula, Top):
+        return [True] * nrows
+    if isinstance(formula, Bottom):
+        return [False] * nrows
+    if isinstance(formula, And):
+        left = _formula_column(formula.left, frame, base, interner, nrows)
+        right = _formula_column(formula.right, frame, base, interner, nrows)
+        return [a and b for a, b in zip(left, right)]
+    if isinstance(formula, Or):
+        left = _formula_column(formula.left, frame, base, interner, nrows)
+        right = _formula_column(formula.right, frame, base, interner, nrows)
+        return [a or b for a, b in zip(left, right)]
+    if isinstance(formula, (Forall, Exists)):
+        bounds = _term_column(formula.bound, frame, base, interner, nrows)
+        member_column, rowmap, lengths = interner.explode_sets(
+            bounds, "quantifier bound evaluated to non-set %s"
+        )
+        child = BatchFrame(formula.var, member_column, rowmap, frame)
+        body = _formula_column(formula.body, child, base, interner, len(member_column))
+        out: List[bool] = []
+        append = out.append
+        reducer = all if isinstance(formula, Forall) else any
+        position = 0
+        for count in lengths:
+            append(reducer(body[position : position + count]))
+            position += count
+        return out
+    raise EvaluationError(f"unknown formula {formula!r}")
+
+
+def eval_formula_batch(
+    formula: Formula,
+    assignments: Sequence[Assignment],
+    interner: Optional[ValueInterner] = None,
+) -> List[bool]:
+    """Evaluate a **well-typed** Δ0 formula over a family of assignments.
+
+    Returns one Boolean per assignment, in order; agrees with mapping
+    :func:`eval_formula` over the family (the per-assignment evaluator is the
+    differential oracle).  Quantifiers expand the family by one row per
+    (assignment, bound element) and reduce back with ``all``/``any`` per
+    segment; all per-row work happens on interned ids.
+    """
+    assignments = list(assignments)
+    if interner is None:
+        interner = shared_interner()
+    base = LazyColumns(assignments, interner, _unbound_var)
+    return _formula_column(formula, None, base, interner, len(assignments))
+
+
+def satisfying_assignments(
+    formula: Formula,
+    assignments: Sequence[Assignment],
+    interner: Optional[ValueInterner] = None,
+) -> List[Assignment]:
+    """The sub-family of assignments satisfying ``formula`` (batched)."""
+    assignments = list(assignments)
+    mask = eval_formula_batch(formula, assignments, interner)
+    return [assignment for assignment, ok in zip(assignments, mask) if ok]

@@ -1,0 +1,659 @@
+"""Columnar value interning for batched evaluation.
+
+The per-environment evaluator (:mod:`repro.nrc.eval`) manipulates immutable
+:class:`~repro.nr.values.Value` objects directly: every union builds a fresh
+``frozenset``, every equality hashes whole nested structures.  That is fine
+for one environment, but when the synthesis pipeline validates a definition
+against a *family* of satisfying assignments the same small values are
+rebuilt and re-hashed once per row.
+
+This module provides the columnar substrate the batched backends share:
+
+* a :class:`ValueInterner` assigns every distinct nested value a dense
+  integer id.  Pairs are interned by their component ids, and set values are
+  canonically represented as **sorted** ``array('q')`` id arrays — two sets
+  are extensionally equal exactly when they receive the same id, so value
+  equality anywhere in a batched evaluator is a single ``int`` comparison;
+* set algebra runs as **linear merges over the sorted id arrays**
+  (:func:`merge_union`, :func:`merge_diff`, :func:`merge_many` — the
+  sorted-sequence merge style used by big-BWT construction), never touching
+  per-row Python ``frozenset`` objects;
+* binary operations are memoized on operand ids, so the massive value
+  sharing of enumerated assignment families collapses duplicated work
+  across rows into single dictionary hits;
+* :class:`LazyColumns` interns the per-variable columns of an assignment
+  family on first use, preserving the per-environment evaluator's "unbound
+  variables only fail if actually evaluated" behavior.
+
+The interner is append-only; ids are never recycled.  Callers that process
+unbounded streams of fresh values should use a private interner per batch
+(:func:`ValueInterner` is cheap to construct) instead of the shared one
+returned by :func:`shared_interner`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from heapq import merge as _heapq_merge
+from itertools import repeat
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.nr.values import PairValue, SetValue, UnitValue, UrValue, Value
+
+#: Kind tags for interned ids (parallel to the four Value classes).
+UNIT_KIND, UR_KIND, PAIR_KIND, SET_KIND = range(4)
+
+_EMPTY_ARRAY = array("q")
+
+
+# =====================================================================
+# Sorted-id-array merge kernels
+# =====================================================================
+
+
+def merge_union(left: array, right: array) -> array:
+    """Union of two sorted duplicate-free id arrays, one linear pass."""
+    if not left:
+        return right
+    if not right:
+        return left
+    out = array("q")
+    append = out.append
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        a, b = left[i], right[j]
+        if a < b:
+            append(a)
+            i += 1
+        elif b < a:
+            append(b)
+            j += 1
+        else:
+            append(a)
+            i += 1
+            j += 1
+    if i < nl:
+        out.extend(left[i:])
+    if j < nr:
+        out.extend(right[j:])
+    return out
+
+
+def merge_diff(left: array, right: array) -> array:
+    """Difference ``left \\ right`` of sorted duplicate-free id arrays."""
+    if not left or not right:
+        return left
+    out = array("q")
+    append = out.append
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        a, b = left[i], right[j]
+        if a < b:
+            append(a)
+            i += 1
+        elif b < a:
+            j += 1
+        else:
+            i += 1
+            j += 1
+    if i < nl:
+        out.extend(left[i:])
+    return out
+
+
+def merge_many(arrays: Sequence[array]) -> array:
+    """K-way union of sorted duplicate-free id arrays (heap merge + dedup)."""
+    if not arrays:
+        return _EMPTY_ARRAY
+    if len(arrays) == 1:
+        return arrays[0]
+    if len(arrays) == 2:
+        return merge_union(arrays[0], arrays[1])
+    out = array("q")
+    append = out.append
+    previous = None
+    for vid in _heapq_merge(*arrays):
+        if vid != previous:
+            append(vid)
+            previous = vid
+    return out
+
+
+# =====================================================================
+# The interner
+# =====================================================================
+
+
+class ValueInterner:
+    """Dense integer ids for nested relational values, with columnar kernels.
+
+    Per id the interner stores a kind tag and a payload: ``None`` for unit,
+    the atom for Ur-elements, a ``(first_id, second_id)`` tuple for pairs and
+    a sorted ``array('q')`` of member ids for sets.  All columnar methods
+    operate on plain lists of ids (one entry per row).
+    """
+
+    __slots__ = (
+        "_kinds",
+        "_payloads",
+        "_ur_ids",
+        "_pair_ids",
+        "_set_ids",
+        "_by_value",
+        "_value_of",
+        "_union_cache",
+        "_diff_cache",
+        "_multi_union_cache",
+        "unit_id",
+        "empty_set_id",
+        "true_id",
+    )
+
+    def __init__(self) -> None:
+        self._kinds: List[int] = []
+        self._payloads: List[object] = []
+        self._ur_ids: Dict[Hashable, int] = {}
+        self._pair_ids: Dict[Tuple[int, int], int] = {}
+        self._set_ids: Dict[Tuple[int, ...], int] = {}
+        self._by_value: Dict[Value, int] = {}
+        self._value_of: List[Optional[Value]] = []
+        self._union_cache: Dict[Tuple[int, int], int] = {}
+        self._diff_cache: Dict[Tuple[int, int], int] = {}
+        self._multi_union_cache: Dict[Tuple[int, ...], int] = {}
+        self.unit_id = self._new_id(UNIT_KIND, None)
+        self.empty_set_id = self._new_id(SET_KIND, _EMPTY_ARRAY)
+        self._set_ids[()] = self.empty_set_id
+        #: The Boolean ``true`` (``{()}``); ``false`` is :attr:`empty_set_id`.
+        self.true_id = self.set_id((self.unit_id,))
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    # ----------------------------------------------------------- id creation
+    def _new_id(self, kind: int, payload: object) -> int:
+        vid = len(self._kinds)
+        self._kinds.append(kind)
+        self._payloads.append(payload)
+        self._value_of.append(None)
+        return vid
+
+    def ur_id(self, atom: Hashable) -> int:
+        vid = self._ur_ids.get(atom)
+        if vid is None:
+            vid = self._new_id(UR_KIND, atom)
+            self._ur_ids[atom] = vid
+        return vid
+
+    def pair_id(self, first: int, second: int) -> int:
+        key = (first, second)
+        vid = self._pair_ids.get(key)
+        if vid is None:
+            vid = self._new_id(PAIR_KIND, key)
+            self._pair_ids[key] = vid
+        return vid
+
+    def set_id(self, member_ids: Iterable[int]) -> int:
+        """Intern a set given arbitrary (unsorted, possibly duplicated) ids."""
+        key = tuple(sorted(set(member_ids)))
+        vid = self._set_ids.get(key)
+        if vid is None:
+            vid = self._new_id(SET_KIND, array("q", key))
+            self._set_ids[key] = vid
+        return vid
+
+    def set_id_from_sorted(self, members: array) -> int:
+        """Intern a set from an already canonical (sorted, deduped) array."""
+        key = tuple(members)
+        vid = self._set_ids.get(key)
+        if vid is None:
+            vid = self._new_id(SET_KIND, members)
+            self._set_ids[key] = vid
+        return vid
+
+    # ------------------------------------------------------- intern / extern
+    def intern(self, value: Value) -> int:
+        """Id of ``value`` (iterative post-order walk, memoized per value)."""
+        memo = self._by_value
+        vid = memo.get(value)
+        if vid is not None:
+            return vid
+        out: List[int] = []
+        stack: List[Tuple[Value, bool]] = [(value, False)]
+        while stack:
+            node, emit = stack.pop()
+            if not emit:
+                vid = memo.get(node)
+                if vid is not None:
+                    out.append(vid)
+                    continue
+                cls = type(node)
+                if cls is UnitValue:
+                    memo[node] = self.unit_id
+                    out.append(self.unit_id)
+                elif cls is UrValue:
+                    vid = self.ur_id(node.atom)
+                    memo[node] = vid
+                    out.append(vid)
+                elif cls is PairValue:
+                    stack.append((node, True))
+                    stack.append((node.second, False))
+                    stack.append((node.first, False))
+                elif cls is SetValue:
+                    stack.append((node, True))
+                    for element in node.elements:
+                        stack.append((element, False))
+                else:
+                    raise EvaluationError(f"cannot intern non-Value {node!r}")
+            elif type(node) is PairValue:
+                second = out.pop()
+                first = out.pop()
+                vid = self.pair_id(first, second)
+                memo[node] = vid
+                out.append(vid)
+            else:  # SetValue
+                count = len(node.elements)
+                members = out[len(out) - count :] if count else ()
+                del out[len(out) - count :]
+                vid = self.set_id(members)
+                memo[node] = vid
+                out.append(vid)
+        return out[-1]
+
+    def extern(self, vid: int) -> Value:
+        """The :class:`Value` for ``vid`` (memoized, iterative)."""
+        cached = self._value_of[vid]
+        if cached is not None:
+            return cached
+        value_of = self._value_of
+        kinds = self._kinds
+        payloads = self._payloads
+        stack: List[int] = [vid]
+        while stack:
+            current = stack[-1]
+            if value_of[current] is not None:
+                stack.pop()
+                continue
+            kind = kinds[current]
+            if kind == UNIT_KIND:
+                value_of[current] = UnitValue()
+                stack.pop()
+            elif kind == UR_KIND:
+                value_of[current] = UrValue(payloads[current])
+                stack.pop()
+            elif kind == PAIR_KIND:
+                first, second = payloads[current]
+                left = value_of[first]
+                right = value_of[second]
+                if left is not None and right is not None:
+                    value_of[current] = PairValue(left, right)
+                    stack.pop()
+                else:
+                    if right is None:
+                        stack.append(second)
+                    if left is None:
+                        stack.append(first)
+            else:  # SET_KIND
+                members = payloads[current]
+                pending = [m for m in members if value_of[m] is None]
+                if pending:
+                    stack.extend(pending)
+                else:
+                    value_of[current] = SetValue(frozenset(value_of[m] for m in members))
+                    stack.pop()
+        return value_of[vid]
+
+    # -------------------------------------------------------- id-level algebra
+    def union_id(self, left: int, right: int) -> int:
+        kinds = self._kinds
+        if kinds[left] != SET_KIND or kinds[right] != SET_KIND:
+            raise EvaluationError("union of non-set values")
+        if left == right:
+            return left
+        key = (left, right) if left < right else (right, left)
+        cached = self._union_cache.get(key)
+        if cached is None:
+            cached = self.set_id_from_sorted(merge_union(self._payloads[left], self._payloads[right]))
+            self._union_cache[key] = cached
+        return cached
+
+    def diff_id(self, left: int, right: int) -> int:
+        kinds = self._kinds
+        if kinds[left] != SET_KIND or kinds[right] != SET_KIND:
+            raise EvaluationError("difference of non-set values")
+        if left == right or left == self.empty_set_id:
+            return self.empty_set_id
+        if right == self.empty_set_id:
+            return left
+        key = (left, right)
+        cached = self._diff_cache.get(key)
+        if cached is None:
+            cached = self.set_id_from_sorted(merge_diff(self._payloads[left], self._payloads[right]))
+            self._diff_cache[key] = cached
+        return cached
+
+    def member(self, elem_id: int, set_id: int) -> bool:
+        """Membership test by binary search on the sorted member array."""
+        members = self._payloads[set_id]
+        if self._kinds[set_id] != SET_KIND:
+            raise EvaluationError(f"membership in non-set value {self.extern(set_id)}")
+        index = bisect_left(members, elem_id)
+        return index < len(members) and members[index] == elem_id
+
+    # ------------------------------------------------------- columnar kernels
+    def pair_column(self, left: List[int], right: List[int]) -> List[int]:
+        pair_ids = self._pair_ids
+        new = self._new_id
+        out = []
+        append = out.append
+        for key in zip(left, right):
+            vid = pair_ids.get(key)
+            if vid is None:
+                vid = new(PAIR_KIND, key)
+                pair_ids[key] = vid
+            append(vid)
+        return out
+
+    def proj_column(self, column: List[int], index: int) -> List[int]:
+        kinds = self._kinds
+        payloads = self._payloads
+        component = 0 if index == 1 else 1
+        out = []
+        append = out.append
+        for vid in column:
+            if kinds[vid] != PAIR_KIND:
+                raise EvaluationError(f"projection of non-pair value {self.extern(vid)}")
+            append(payloads[vid][component])
+        return out
+
+    def singleton_column(self, column: List[int]) -> List[int]:
+        set_ids = self._set_ids
+        new = self._new_id
+        out = []
+        append = out.append
+        for elem in column:
+            key = (elem,)
+            vid = set_ids.get(key)
+            if vid is None:
+                vid = new(SET_KIND, array("q", key))
+                set_ids[key] = vid
+            append(vid)
+        return out
+
+    def union_column(self, left: List[int], right: List[int]) -> List[int]:
+        union_id = self.union_id
+        return [union_id(a, b) for a, b in zip(left, right)]
+
+    def diff_column(self, left: List[int], right: List[int]) -> List[int]:
+        diff_id = self.diff_id
+        return [diff_id(a, b) for a, b in zip(left, right)]
+
+    def get_column(self, column: List[int], default_id: Callable[[], int]) -> List[int]:
+        """``get`` per row: the unique member of a singleton, default otherwise."""
+        kinds = self._kinds
+        payloads = self._payloads
+        default = None
+        out = []
+        append = out.append
+        for vid in column:
+            if kinds[vid] != SET_KIND:
+                raise EvaluationError(f"get of non-set value {self.extern(vid)}")
+            members = payloads[vid]
+            if len(members) == 1:
+                append(members[0])
+            else:
+                if default is None:
+                    default = default_id()
+                append(default)
+        return out
+
+    def explode_sets(self, column: List[int], error: str) -> Tuple[List[int], List[int], List[int]]:
+        """Expand a column of set ids to ``(member_column, rowmap, lengths)``.
+
+        ``member_column`` concatenates the member ids of every row's set,
+        ``rowmap[j]`` is the source row of expanded row ``j`` and ``lengths``
+        holds the per-row member counts (for :meth:`union_segments`).
+        """
+        kinds = self._kinds
+        payloads = self._payloads
+        member_column: List[int] = []
+        rowmap: List[int] = []
+        lengths: List[int] = []
+        extend_members = member_column.extend
+        extend_rowmap = rowmap.extend
+        append_length = lengths.append
+        for row, vid in enumerate(column):
+            if kinds[vid] != SET_KIND:
+                raise EvaluationError(error % (self.extern(vid),) if "%s" in error else error)
+            members = payloads[vid]
+            count = len(members)
+            append_length(count)
+            if count:
+                extend_members(members)
+                extend_rowmap(repeat(row, count))
+        return member_column, rowmap, lengths
+
+    #: Segment width above which :meth:`union_segments` switches from memoized
+    #: pairwise merges (which reuse work across rows) to one k-way heap merge
+    #: (repeated pairwise folding is quadratic in the segment's total size).
+    WIDE_SEGMENT = 8
+
+    def union_segments(self, column: List[int], lengths: List[int], error: str) -> List[int]:
+        """Fold each segment of a set-id column into one union per source row.
+
+        Narrow segments fold pairwise through the memoized :meth:`union_id`
+        so identical merges across rows are dictionary hits; segments wider
+        than :data:`WIDE_SEGMENT` go through one :func:`merge_many` pass.
+        """
+        kinds = self._kinds
+        payloads = self._payloads
+        union_id = self.union_id
+        empty = self.empty_set_id
+        wide = self.WIDE_SEGMENT
+        out = []
+        append = out.append
+        position = 0
+        for count in lengths:
+            if count == 0:
+                append(empty)
+                continue
+            segment = column[position : position + count]
+            position += count
+            for vid in segment:
+                if kinds[vid] != SET_KIND:
+                    raise EvaluationError(error % (self.extern(vid),) if "%s" in error else error)
+            if count > wide:
+                key = tuple(segment)
+                cached = self._multi_union_cache.get(key)
+                if cached is None:
+                    cached = self.set_id_from_sorted(merge_many([payloads[vid] for vid in segment]))
+                    self._multi_union_cache[key] = cached
+                append(cached)
+                continue
+            accumulated = segment[0]
+            for vid in segment[1:]:
+                accumulated = union_id(accumulated, vid)
+            append(accumulated)
+        return out
+
+    def sets_from_segments(self, column: List[int], lengths: List[int]) -> List[int]:
+        """One set id per segment, built directly from element ids.
+
+        The batched counterpart of the codegen backend's singleton-body
+        peephole (``⋃{ {e} | x ∈ src }``): instead of interning a singleton
+        per expanded row and merging them pairwise, each row's result set is
+        interned straight from its segment of element ids.
+        """
+        set_ids = self._set_ids
+        new = self._new_id
+        empty = self.empty_set_id
+        out = []
+        append = out.append
+        position = 0
+        for count in lengths:
+            if count == 0:
+                append(empty)
+                continue
+            if count == 1:
+                key = (column[position],)
+            else:
+                key = tuple(sorted(set(column[position : position + count])))
+            position += count
+            vid = set_ids.get(key)
+            if vid is None:
+                vid = new(SET_KIND, array("q", key))
+                set_ids[key] = vid
+            append(vid)
+        return out
+
+
+class BatchFrame:
+    """One binder/quantifier level of a batched evaluation.
+
+    ``var`` is the bound variable (an ``NVar`` for the NRC backend, a logic
+    ``Var`` for the formula backend), ``column`` holds its ids for the
+    current (expanded) rows, ``rowmap[j]`` is the parent-level row expanded
+    row ``j`` came from, and ``parent`` is the enclosing frame (``None`` at
+    the base level).  Shared by :mod:`repro.nrc.eval` and
+    :mod:`repro.logic.semantics` so the rowmap-gather machinery has exactly
+    one implementation.
+    """
+
+    __slots__ = ("var", "column", "rowmap", "parent")
+
+    def __init__(
+        self, var, column: List[int], rowmap: List[int], parent: Optional["BatchFrame"]
+    ) -> None:
+        self.var = var
+        self.column = column
+        self.rowmap = rowmap
+        self.parent = parent
+
+
+def gather_column(column: List[int], rowmap: Optional[List[int]]) -> List[int]:
+    """``column`` aligned to the current rows (``rowmap`` of ``None`` = identity)."""
+    return column if rowmap is None else [column[i] for i in rowmap]
+
+
+def compose_rowmap(rowmap: Optional[List[int]], step: List[int]) -> List[int]:
+    """Extend a current-rows→ancestor-rows map by one more frame's ``step``."""
+    return step if rowmap is None else [step[i] for i in rowmap]
+
+
+class LazyColumns:
+    """Per-variable id columns over a family of mappings, interned on demand.
+
+    ``unbound(var)`` is called (and must raise) when a demanded row lacks
+    ``var``.  Laziness is per *row*, not per column: :meth:`gather` through a
+    rowmap only interns (and only checks boundness of) the base rows the
+    rowmap actually references, which preserves the per-environment
+    evaluator's behavior exactly — a variable inside a binder is never
+    demanded for rows whose source set is empty.
+    """
+
+    __slots__ = ("rows", "interner", "unbound", "_columns", "_cells")
+
+    def __init__(
+        self,
+        rows: Sequence[Mapping],
+        interner: ValueInterner,
+        unbound: Callable[[object], None],
+    ) -> None:
+        self.rows = rows
+        self.interner = interner
+        self.unbound = unbound
+        self._columns: Dict[object, List[int]] = {}
+        self._cells: Dict[object, Dict[int, int]] = {}
+
+    def column(self, var) -> List[int]:
+        """The full base column for ``var`` (every row must bind it)."""
+        column = self._columns.get(var)
+        if column is None:
+            intern = self.interner.intern
+            column = []
+            append = column.append
+            for row in self.rows:
+                value = row.get(var, _MISSING)
+                if value is _MISSING:
+                    self.unbound(var)
+                append(intern(value))
+            self._columns[var] = column
+        return column
+
+    def gather(self, var, rowmap: Optional[List[int]]) -> List[int]:
+        """``var``'s ids aligned to the current rows, demanding only used rows.
+
+        When every row binds ``var`` (the common, homogeneous-family case)
+        the full column is interned once and gathers are plain indexing;
+        otherwise only the rows a rowmap references are boundness-checked,
+        so rows lacking ``var`` fail exactly when actually demanded.
+        """
+        if rowmap is None:
+            return self.column(var)
+        column = self._columns.get(var)
+        if column is None and var not in self._cells:
+            column = self._scan(var)
+        if column is not None:
+            return [column[i] for i in rowmap]
+        cells = self._cells[var]
+        out: List[int] = []
+        append = out.append
+        for index in rowmap:
+            vid = cells.get(index)
+            if vid is None:
+                self.unbound(var)
+            append(vid)
+        return out
+
+    def _scan(self, var) -> Optional[List[int]]:
+        """Intern ``var`` for every row that binds it.
+
+        Returns (and caches) the full column when all rows bind ``var``;
+        otherwise caches the bound rows in ``_cells`` and returns ``None``.
+        Interning never raises, so pre-interning rows that are never demanded
+        is extra work at most, not a semantic change.
+        """
+        intern = self.interner.intern
+        column: List[int] = []
+        append = column.append
+        complete = True
+        for row in self.rows:
+            value = row.get(var, _MISSING)
+            if value is _MISSING:
+                complete = False
+                append(-1)
+            else:
+                append(intern(value))
+        if complete:
+            self._columns[var] = column
+            return column
+        self._cells[var] = {i: vid for i, vid in enumerate(column) if vid != -1}
+        return None
+
+
+_MISSING = object()
+
+#: Rotation threshold for the shared interner: once it holds this many ids it
+#: is replaced by a fresh one, bounding memory in long-running processes.
+#: Safe because ids are only meaningful relative to the interner instance a
+#: caller obtained at the start of its batch — in-flight batches keep their
+#: reference, new batches start clean.
+SHARED_INTERNER_MAX_IDS = 1_000_000
+
+_SHARED_INTERNER = ValueInterner()
+
+
+def shared_interner() -> ValueInterner:
+    """The process-wide interner shared by the batched evaluator defaults.
+
+    Rotated once it exceeds :data:`SHARED_INTERNER_MAX_IDS` ids; callers must
+    grab one instance per batch (all built-in consumers do) rather than
+    holding ids across separately obtained instances.
+    """
+    global _SHARED_INTERNER
+    if len(_SHARED_INTERNER) > SHARED_INTERNER_MAX_IDS:
+        _SHARED_INTERNER = ValueInterner()
+    return _SHARED_INTERNER

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterable, Iterator, List, Tuple
+from typing import FrozenSet, Hashable, Iterable, Iterator, List
 
 from repro.core.interning import install_hash_cache
 from repro.errors import TypeMismatchError

@@ -22,14 +22,13 @@ synthesizer are validated semantically instead (see DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import TypeMismatchError
-from repro.nr.types import SetType, Type, UrType, prod, set_of, tuple_type, UR
+from repro.nr.types import SetType, Type, UrType, set_of, tuple_type, UR
 from repro.nr.values import PairValue, SetValue, UrValue, Value
-from repro.nrc.expr import NBigUnion, NEmpty, NPair, NProj, NRCExpr, NSingleton, NUnion, NDiff, NVar
+from repro.nrc.expr import NBigUnion, NEmpty, NRCExpr, NSingleton, NUnion, NDiff, NVar
 from repro.nrc.macros import cond_set, eq_expr, tuple_expr, tuple_proj
-from repro.nrc.typing import infer_type
 
 
 def is_flat_relation_type(typ: Type) -> bool:
@@ -175,7 +174,7 @@ def _eval_ra(expr: RAExpr, relations):
     if isinstance(expr, Product):
         left = _eval_ra(expr.left, relations)
         right = _eval_ra(expr.right, relations)
-        return {l + r for l in left for r in right}
+        return {lt + rt for lt in left for rt in right}
     if isinstance(expr, RAUnion):
         return _eval_ra(expr.left, relations) | _eval_ra(expr.right, relations)
     if isinstance(expr, RADiff):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Optional, Sequence
 
-from repro.errors import SynthesisError, TypeMismatchError
+from repro.errors import TypeMismatchError
 from repro.logic.formulas import (
     And,
     Bottom,
@@ -31,7 +31,7 @@ from repro.logic.formulas import (
 )
 from repro.logic.macros import negate
 from repro.logic.terms import PairTerm, Proj, Term, UnitTerm, Var
-from repro.nr.types import BOOL, ProdType, SetType, Type, UnitType, UrType, UNIT
+from repro.nr.types import ProdType, SetType, Type, UnitType, UrType, UNIT
 from repro.nrc.expr import (
     NBigUnion,
     NDiff,

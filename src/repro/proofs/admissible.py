@@ -24,7 +24,7 @@ present, so the inversions only ever traverse invertible rules and ``weaken``
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.errors import ProofError
 from repro.logic.formulas import And, Exists, Forall, Formula, Member

@@ -29,7 +29,6 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import RuleApplicationError
 from repro.logic.formulas import (
     And,
-    Bottom,
     EqUr,
     Exists,
     Forall,
@@ -39,10 +38,9 @@ from repro.logic.formulas import (
     Or,
     Top,
     is_atomic,
-    is_existential_leading,
 )
-from repro.logic.free_vars import free_vars, replace_term, substitute
-from repro.logic.terms import PairTerm, Proj, Term, Var, term_type
+from repro.logic.free_vars import replace_term, substitute
+from repro.logic.terms import PairTerm, Proj, Term, Var
 from repro.nr.types import ProdType
 from repro.proofs.prooftree import ProofNode
 from repro.proofs.sequents import Sequent, all_el, sequent_free_vars

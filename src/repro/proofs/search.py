@@ -22,7 +22,7 @@ with the independent checker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProofSearchError
@@ -41,7 +41,7 @@ from repro.logic.formulas import (
 )
 from repro.logic.free_vars import fresh_var, replace_term_in_term
 from repro.logic.macros import negate
-from repro.logic.terms import Term, term_vars
+from repro.logic.terms import Term
 from repro.proofs import focused
 from repro.proofs.prooftree import ProofNode
 from repro.proofs.sequents import Sequent, sequent_free_vars

@@ -21,7 +21,7 @@ from repro.errors import FormulaError
 from repro.logic.formulas import Formula, Member, is_delta0, is_existential_leading
 from repro.logic.free_vars import free_vars
 from repro.logic.macros import negate
-from repro.logic.terms import Var, term_vars
+from repro.logic.terms import Var
 
 
 @dataclass(frozen=True)

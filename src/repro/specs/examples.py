@@ -25,8 +25,8 @@ from typing import Dict, List, Mapping, Tuple
 from repro.logic.formulas import And, Exists, Forall, Formula, Top, conj
 from repro.logic.macros import equivalent, implies, member_hat
 from repro.logic.terms import Var, proj1, proj2
-from repro.nr.types import UR, ProdType, SetType, prod, set_of
-from repro.nr.values import PairValue, SetValue, UrValue, Value, pair, ur, vset
+from repro.nr.types import UR, prod, set_of
+from repro.nr.values import PairValue, SetValue, Value, pair, ur, vset
 from repro.specs.problems import ImplicitDefinitionProblem
 
 #: Types used by Examples 1.1 / 4.1.

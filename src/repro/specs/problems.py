@@ -16,11 +16,11 @@ input–output specifications of Appendix B (see :mod:`repro.specs.io_spec`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import SpecificationError
-from repro.logic.formulas import And, Formula, conj
+from repro.logic.formulas import Formula
 from repro.logic.free_vars import free_vars, substitute_many
 from repro.logic.macros import equivalent, negate
 from repro.logic.semantics import eval_formula
@@ -81,18 +81,45 @@ class ImplicitDefinitionProblem:
         """Does the specification hold under the assignment?"""
         return eval_formula(self.phi, assignment)
 
-    def check_implicitly_defines(self, assignments: Sequence[Mapping[Var, Value]]) -> bool:
+    def check_implicitly_defines(
+        self, assignments: Sequence[Mapping[Var, Value]], batched: bool = True
+    ) -> bool:
         """Semantic sanity check on a finite sample of instances.
 
         Returns False if two satisfying assignments agree on the inputs but
         disagree on the output — a counterexample to implicit definability.
+        By default the family is filtered through the batched formula
+        evaluator and compared on interned ids: grouping by the input-id
+        tuple makes the check linear in the number of satisfying
+        assignments.  The batched path requires complete, well-typed
+        assignments (it does not short-circuit connectives row by row); pass
+        ``batched=False`` for the per-row oracle, which evaluates lazily.
         """
-        satisfying = [a for a in assignments if self.holds_on(a)]
-        for first in satisfying:
-            for second in satisfying:
-                if all(first[i] == second[i] for i in self.inputs):
-                    if first[self.output] != second[self.output]:
-                        return False
+        assignments = list(assignments)
+        if not batched:
+            satisfying = [a for a in assignments if self.holds_on(a)]
+            for first in satisfying:
+                for second in satisfying:
+                    if all(first[i] == second[i] for i in self.inputs):
+                        if first[self.output] != second[self.output]:
+                            return False
+            return True
+
+        from repro.logic.semantics import eval_formula_batch
+        from repro.nr.columns import shared_interner
+
+        interner = shared_interner()
+        mask = eval_formula_batch(self.phi, assignments, interner)
+        intern = interner.intern
+        outputs_by_inputs: Dict[Tuple[int, ...], int] = {}
+        for assignment, ok in zip(assignments, mask):
+            if not ok:
+                continue
+            key = tuple(intern(assignment[i]) for i in self.inputs)
+            output_id = intern(assignment[self.output])
+            previous = outputs_by_inputs.setdefault(key, output_id)
+            if previous != output_id:
+                return False
         return True
 
     def nrc_input_vars(self) -> Tuple[NVar, ...]:

@@ -25,7 +25,7 @@ from typing import Sequence, Tuple
 from repro.errors import SynthesisError
 from repro.logic.formulas import And, Exists, Formula
 from repro.logic.terms import Proj, Term, Var, term_type
-from repro.nr.types import ProdType, SetType, Type, UnitType, UrType
+from repro.nr.types import ProdType, SetType, UnitType, UrType
 from repro.nrc.expr import NBigUnion, NPair, NRCExpr, NSingleton, NUnit, NVar
 from repro.nrc.macros import atoms_expr
 from repro.proofs.admissible import exists_conjunct_projection

@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 from repro.errors import ProofSearchError, SynthesisError
 from repro.interpolation.delta0 import interpolate
-from repro.interpolation.partition import LEFT, RIGHT, Partition
+from repro.interpolation.partition import Partition
 from repro.logic.formulas import And, Exists, Forall, Formula, Member
 from repro.logic.free_vars import beta_normalize_formula, fresh_var, substitute
 from repro.logic.macros import negate

@@ -19,6 +19,11 @@ mirroring (and extending) the interpolation algorithm of Theorem 4; the most
 interesting case is the ∃ rule applied to the goal formula itself, where the
 two biconditional branches are mined for a candidate definition of λ.
 
+:func:`check_collection` semantically validates a collected ``(E, θ)`` pair
+against a whole family of assignments at once through the batched evaluators
+(the λ-comprehension and ``E`` are each compiled once and run columnar over
+the family; the membership check is one integer binary search per row).
+
 This module also hosts ``collect_set_answers``, the set case of Theorem 10.
 This release wires the Unit/Ur/product cases of Theorem 10 end to end; the
 nested set case additionally requires the Lemma 6/Lemma 7 proof transformers,
@@ -29,7 +34,7 @@ collection itself is fully implemented and tested standalone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Mapping, Sequence, Tuple
 
 from repro.errors import SynthesisError
 from repro.interpolation.delta0 import interpolate
@@ -292,6 +297,49 @@ def _collect_neq(node: ProofNode, partition: Partition, goal: CollectionGoal) ->
     theta = replace_term(theta, neq.right, neq.left)
     expr = _replace_nrc(expr, term_to_nrc(neq.right), term_to_nrc(neq.left))
     return expr, theta
+
+
+# ------------------------------------------------- batched semantic validation
+def check_collection(
+    goal: CollectionGoal,
+    expr: NRCExpr,
+    hypotheses: Sequence[Formula],
+    assignments: Sequence[Mapping],
+):
+    """Validate Theorem 8's guarantee on a family of assignments, batched.
+
+    For every assignment satisfying all ``hypotheses``, the collected set
+    ``{z ∈ c | λ(z)}`` must be a member of the candidate expression ``E``
+    (= ``expr``).  The whole family is processed columnar: the hypotheses are
+    filtered with :func:`~repro.logic.semantics.eval_formula_batch`, the
+    λ-comprehension and ``E`` are evaluated with
+    :func:`~repro.nrc.eval.eval_nrc_batch_ids`, and membership is one integer
+    binary search per satisfying assignment.  Returns a
+    :class:`~repro.synthesis.verification.VerificationReport`.
+    """
+    from repro.logic.formulas import conj
+    from repro.logic.semantics import eval_formula_batch
+    from repro.nr.columns import shared_interner
+    from repro.nrc.eval import eval_nrc_batch_ids
+    from repro.synthesis.verification import VerificationReport
+
+    assignments = list(assignments)
+    interner = shared_interner()
+    mask = eval_formula_batch(conj(list(hypotheses)), assignments, interner)
+    satisfying = [a for a, ok in zip(assignments, mask) if ok]
+    envs = [{NVar(v.name, v.typ): value for v, value in a.items()} for a in satisfying]
+    c_nrc = NVar(goal.c.name, goal.c.typ)
+    z_nrc = NVar(goal.z.name, goal.z.typ)
+    lam_expr = comprehension(c_nrc, z_nrc, goal.lam)
+    lam_ids = eval_nrc_batch_ids(lam_expr, envs, interner)
+    candidate_ids = eval_nrc_batch_ids(expr, envs, interner)
+    member = interner.member
+    mismatches = [
+        assignment
+        for assignment, lam_id, candidates in zip(satisfying, lam_ids, candidate_ids)
+        if not member(lam_id, candidates)
+    ]
+    return VerificationReport(len(assignments), len(satisfying), mismatches)
 
 
 # ----------------------------------------------------------------- Theorem 10

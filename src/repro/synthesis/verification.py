@@ -5,17 +5,26 @@ them semantically on concrete instances (used pervasively by the test-suite
 and the benchmark harness): for every satisfying assignment of the
 specification, the synthesized expression evaluated on the inputs must equal
 the output value.
+
+Whole assignment families flow through the batched backends by default: the
+specification is filtered with :func:`repro.logic.semantics.eval_formula_batch`
+and the candidate expression is evaluated with
+:func:`repro.nrc.eval.eval_nrc_batch_ids`, so result comparison is a single
+integer comparison per assignment.  Passing ``batched=False`` selects the
+original per-environment path, which is kept as the differential-testing
+oracle for the batched one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.logic.semantics import eval_formula
+from repro.logic.semantics import eval_formula, eval_formula_batch
 from repro.logic.terms import Var
+from repro.nr.columns import shared_interner
 from repro.nr.values import Value
-from repro.nrc.eval import eval_nrc
+from repro.nrc.eval import eval_nrc, eval_nrc_batch_columns, eval_nrc_batch_ids
 from repro.nrc.expr import NRCExpr, NVar
 
 
@@ -32,23 +41,47 @@ class VerificationReport:
         return not self.mismatches
 
 
+def _nvar_mapping(variables: Sequence[Var]) -> Dict[Var, NVar]:
+    """The ``Var -> NVar`` bridge, built once per family (not per assignment)."""
+    return {v: NVar(v.name, v.typ) for v in variables}
+
+
 def check_explicit_definition(
     problem,
     expression: NRCExpr,
     assignments: Sequence[Mapping[Var, Value]],
+    batched: bool = True,
 ) -> VerificationReport:
     """Check ``expression`` explicitly defines the problem's output on the given assignments."""
-    mismatches: List[Mapping[Var, Value]] = []
-    satisfying = 0
-    for assignment in assignments:
-        if not eval_formula(problem.phi, assignment):
-            continue
-        satisfying += 1
-        env = {NVar(v.name, v.typ): assignment[v] for v in problem.inputs}
-        produced = eval_nrc(expression, env)
-        if produced != assignment[problem.output]:
-            mismatches.append(assignment)
-    return VerificationReport(len(assignments), satisfying, mismatches)
+    assignments = list(assignments)
+    input_nvars = _nvar_mapping(problem.inputs)
+    if not batched:
+        # Per-environment oracle path (differential reference for the batch).
+        mismatches: List[Mapping[Var, Value]] = []
+        satisfying = 0
+        for assignment in assignments:
+            if not eval_formula(problem.phi, assignment):
+                continue
+            satisfying += 1
+            env = {nv: assignment[v] for v, nv in input_nvars.items()}
+            produced = eval_nrc(expression, env)
+            if produced != assignment[problem.output]:
+                mismatches.append(assignment)
+        return VerificationReport(len(assignments), satisfying, mismatches)
+
+    interner = shared_interner()
+    mask = eval_formula_batch(problem.phi, assignments, interner)
+    satisfying_rows = [a for a, ok in zip(assignments, mask) if ok]
+    envs = [{nv: a[v] for v, nv in input_nvars.items()} for a in satisfying_rows]
+    produced_ids = eval_nrc_batch_ids(expression, envs, interner)
+    intern = interner.intern
+    output = problem.output
+    mismatches = [
+        assignment
+        for assignment, produced in zip(satisfying_rows, produced_ids)
+        if produced != intern(assignment[output])
+    ]
+    return VerificationReport(len(assignments), len(satisfying_rows), mismatches)
 
 
 def check_view_rewriting(
@@ -57,19 +90,40 @@ def check_view_rewriting(
     query: NRCExpr,
     rewriting: NRCExpr,
     base_instances: Sequence[Mapping[Var, Value]],
+    batched: bool = True,
 ) -> VerificationReport:
     """Check a rewriting: evaluating it on the view outputs reproduces the query output."""
-    mismatches: List[Mapping[Var, Value]] = []
-    for instance in base_instances:
-        base_env = {NVar(v.name, v.typ): instance[v] for v in base_vars}
-        view_env = {}
-        for name, view_expr in views:
-            value = eval_nrc(view_expr, base_env)
-            from repro.nrc.typing import infer_type
+    from repro.nrc.typing import infer_type
 
-            view_env[NVar(name, infer_type(view_expr))] = value
-        expected = eval_nrc(query, base_env)
-        produced = eval_nrc(rewriting, view_env)
-        if produced != expected:
-            mismatches.append(instance)
+    base_instances = list(base_instances)
+    base_nvars = _nvar_mapping(base_vars)
+    if not batched:
+        mismatches: List[Mapping[Var, Value]] = []
+        for instance in base_instances:
+            base_env = {nv: instance[v] for v, nv in base_nvars.items()}
+            view_env = {}
+            for name, view_expr in views:
+                value = eval_nrc(view_expr, base_env)
+                view_env[NVar(name, infer_type(view_expr))] = value
+            expected = eval_nrc(query, base_env)
+            produced = eval_nrc(rewriting, view_env)
+            if produced != expected:
+                mismatches.append(instance)
+        return VerificationReport(len(base_instances), len(base_instances), mismatches)
+
+    interner = shared_interner()
+    base_envs = [{nv: instance[v] for v, nv in base_nvars.items()} for instance in base_instances]
+    view_columns = {
+        NVar(name, infer_type(view_expr)): eval_nrc_batch_ids(view_expr, base_envs, interner)
+        for name, view_expr in views
+    }
+    expected_ids = eval_nrc_batch_ids(query, base_envs, interner)
+    # The rewriting consumes the view outputs as-is: feed the id columns
+    # straight back in instead of externing values only to re-intern them.
+    produced_ids = eval_nrc_batch_columns(rewriting, view_columns, len(base_instances), interner)
+    mismatches = [
+        instance
+        for instance, expected, produced in zip(base_instances, expected_ids, produced_ids)
+        if expected != produced
+    ]
     return VerificationReport(len(base_instances), len(base_instances), mismatches)

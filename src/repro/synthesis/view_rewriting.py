@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.errors import SynthesisError
-from repro.logic.formulas import Formula, conj
+from repro.logic.formulas import conj
 from repro.logic.terms import Var
 from repro.nrc.typing import infer_type
 from repro.proofs.prooftree import ProofNode

@@ -1,0 +1,22 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Property tests run with the lightweight ``dev`` profile locally and the
+deeper ``ci`` profile on CI, selected via the ``HYPOTHESIS_PROFILE``
+environment variable (the workflow exports ``HYPOTHESIS_PROFILE=ci``).
+Tests that pin an explicit ``@settings(max_examples=...)`` keep their pin;
+the profile supplies the defaults for everything else.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

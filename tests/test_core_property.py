@@ -62,7 +62,9 @@ def _exprs_of(typ: Type, depth: int, env_vars):
     if depth <= 0:
         return st.one_of(leaves)
 
-    sub = lambda t: _exprs_of(t, depth - 1, env_vars)
+    def sub(t):
+        return _exprs_of(t, depth - 1, env_vars)
+
     options = list(leaves)
     if isinstance(typ, ProdType):
         options.append(st.builds(NPair, sub(typ.left), sub(typ.right)))

@@ -4,15 +4,14 @@ import pytest
 
 from repro.errors import SynthesisError
 from repro.interpolation.delta0 import interpolate
-from repro.interpolation.partition import LEFT, RIGHT, Partition
-from repro.logic.formulas import And, EqUr, Exists, Forall, Member
+from repro.interpolation.partition import Partition
+from repro.logic.formulas import EqUr, Exists, Member
 from repro.logic.free_vars import free_vars
-from repro.logic.macros import equivalent, member_hat, negate, subset_of
+from repro.logic.macros import equivalent, negate
 from repro.logic.semantics import eval_formula
 from repro.logic.terms import Var
 from repro.nr.types import UR, prod, set_of
 from repro.nr.values import pair, ur, vset
-from repro.nrc.eval import eval_nrc
 from repro.nrc.expr import NBigUnion, NProj, NSingleton, NUnion, NVar
 from repro.proofs.admissible import and_inversion, forall_inversion, weaken_proof
 from repro.proofs.checker import check_proof
@@ -94,7 +93,8 @@ def test_io_specification_flatten_and_composition_free():
     B = NVar("B", set_of(elem))
     b = NVar("b", elem)
     c = NVar("c", UR)
-    flatten = NBigUnion(NBigUnion(NSingleton(__import__("repro.nrc.expr", fromlist=["NPair"]).NPair(NProj(1, b), c)), c, NProj(2, b)), b, B)
+    NPair = __import__("repro.nrc.expr", fromlist=["NPair"]).NPair
+    flatten = NBigUnion(NBigUnion(NSingleton(NPair(NProj(1, b), c)), c, NProj(2, b)), b, B)
     assert is_composition_free(flatten)
     out = Var("V", set_of(prod(UR, UR)))
     spec = io_specification(flatten, out)

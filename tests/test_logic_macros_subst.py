@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TypeMismatchError
-from repro.logic.formulas import And, Bottom, EqUr, Exists, Forall, NeqUr, Or, Top
+from repro.logic.formulas import And, EqUr, Exists, Forall, NeqUr, Or, Top
 from repro.logic.free_vars import (
     FreshNames,
     free_vars,
@@ -26,10 +26,10 @@ from repro.logic.macros import (
     subset_of,
 )
 from repro.logic.semantics import eval_formula
-from repro.logic.terms import PairTerm, Proj, Var, proj1, proj2
+from repro.logic.terms import PairTerm, Var, proj1
 from repro.logic.typecheck import check_formula
 from repro.nr.types import UNIT, UR, prod, set_of
-from repro.nr.values import pair, ur, unit, vset
+from repro.nr.values import ur, vset
 
 
 def test_negate_is_involutive_and_dualizes():

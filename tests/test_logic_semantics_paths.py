@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EvaluationError, FormulaError, TypeMismatchError
-from repro.logic.formulas import And, EqUr, Exists, Forall, Member, Top
+from repro.logic.formulas import EqUr, Exists, Forall, Member, Top
 from repro.logic.free_vars import FreshNames
 from repro.logic.general_models import (
     GeneralModel,
@@ -22,7 +22,7 @@ from repro.logic.paths import (
 from repro.logic.semantics import eval_formula, eval_term, models
 from repro.logic.terms import PairTerm, Proj, UnitTerm, Var, proj1, proj2
 from repro.logic.typecheck import check_formula
-from repro.nr.types import UNIT, UR, SetType, prod, set_of
+from repro.nr.types import UR, prod, set_of
 from repro.nr.values import pair, ur, unit, vset
 
 
@@ -172,7 +172,8 @@ def test_model_from_values_round_trip_and_extensionality():
     value = vset([pair(ur("k"), vset([ur(1), ur(2)]))])
     model, env = model_from_values({B: value})
     assert model.is_extensional()
-    phi = Exists(Var("b", prod(UR, set_of(UR))), B, EqUr(proj1(Var("b", prod(UR, set_of(UR)))), proj1(Var("b", prod(UR, set_of(UR))))))
+    b = Var("b", prod(UR, set_of(UR)))
+    phi = Exists(b, B, EqUr(proj1(b), proj1(b)))
     assert model.eval_formula(phi, env)
     collapsed = collapse_to_instance(model, env)
     assert collapsed[B] == value

@@ -36,7 +36,7 @@ from repro.logic.terms import (
     term_type,
     term_vars,
 )
-from repro.nr.types import UNIT, UR, ProdType, SetType, prod, set_of
+from repro.nr.types import UNIT, UR, ProdType, prod, set_of
 
 
 def test_term_typing():

@@ -1,0 +1,101 @@
+"""Unit tests for the columnar interning layer (:mod:`repro.nr.columns`)."""
+
+from array import array
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.errors import EvaluationError
+from repro.nr.columns import (
+    ValueInterner,
+    merge_diff,
+    merge_many,
+    merge_union,
+    shared_interner,
+)
+from repro.nr.values import pair, ur, unit, vset
+
+sorted_ids = st.lists(st.integers(0, 40), max_size=12).map(lambda xs: array("q", sorted(set(xs))))
+
+
+@given(left=sorted_ids, right=sorted_ids)
+def test_merge_union_matches_set_union(left, right):
+    assert list(merge_union(left, right)) == sorted(set(left) | set(right))
+
+
+@given(left=sorted_ids, right=sorted_ids)
+def test_merge_diff_matches_set_difference(left, right):
+    assert list(merge_diff(left, right)) == sorted(set(left) - set(right))
+
+
+@given(arrays=st.lists(sorted_ids, max_size=5))
+def test_merge_many_matches_set_union(arrays):
+    expected = sorted(set().union(*[set(a) for a in arrays])) if arrays else []
+    assert list(merge_many(arrays)) == expected
+
+
+def test_intern_extern_roundtrip():
+    interner = ValueInterner()
+    values = [
+        unit(),
+        ur("a"),
+        ur(7),
+        pair(ur("a"), unit()),
+        vset([ur(i) for i in range(4)]),
+        vset([pair(ur("k"), vset([ur(1), ur(2)])), pair(ur("k"), vset())]),
+        vset([vset(), vset([unit()])]),
+    ]
+    for value in values:
+        assert interner.extern(interner.intern(value)) == value
+
+
+def test_ids_are_canonical_for_extensional_equality():
+    interner = ValueInterner()
+    left = vset([ur(1), ur(2), ur(3)])
+    right = vset([ur(3), ur(1), ur(2)])
+    assert interner.intern(left) == interner.intern(right)
+    assert interner.intern(vset()) == interner.empty_set_id
+    assert interner.intern(vset([unit()])) == interner.true_id
+
+
+def test_id_level_set_algebra():
+    interner = ValueInterner()
+    a = interner.intern(vset([ur(1), ur(2)]))
+    b = interner.intern(vset([ur(2), ur(3)]))
+    assert interner.extern(interner.union_id(a, b)) == vset([ur(1), ur(2), ur(3)])
+    assert interner.extern(interner.diff_id(a, b)) == vset([ur(1)])
+    assert interner.member(interner.intern(ur(2)), a)
+    assert not interner.member(interner.intern(ur(9)), a)
+
+
+def test_non_set_operands_raise():
+    interner = ValueInterner()
+    p = interner.intern(pair(ur(1), ur(2)))
+    s = interner.intern(vset([ur(1)]))
+    with pytest.raises(EvaluationError):
+        interner.union_id(p, s)
+    with pytest.raises(EvaluationError):
+        interner.diff_id(s, p)
+    with pytest.raises(EvaluationError):
+        interner.proj_column([s], 1)
+    with pytest.raises(EvaluationError):
+        interner.get_column([p], lambda: interner.unit_id)
+
+
+def test_explode_and_union_segments_roundtrip():
+    interner = ValueInterner()
+    sets = [vset([ur(1), ur(2)]), vset(), vset([ur(2), ur(3), ur(4)])]
+    column = [interner.intern(s) for s in sets]
+    members, rowmap, lengths = interner.explode_sets(column, "not a set %s")
+    assert lengths == [2, 0, 3]
+    assert rowmap == [0, 0, 2, 2, 2]
+    singletons = interner.singleton_column(members)
+    folded = interner.union_segments(singletons, lengths, "not a set %s")
+    assert folded[0] == column[0]
+    assert folded[1] == interner.empty_set_id
+    assert folded[2] == column[2]
+
+
+def test_shared_interner_is_a_singleton():
+    assert shared_interner() is shared_interner()

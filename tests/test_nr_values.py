@@ -3,13 +3,9 @@
 import pytest
 
 from repro.errors import TypeMismatchError
-from repro.nr.types import BOOL, UNIT, UR, ProdType, SetType, prod, set_of
+from repro.nr.types import BOOL, UNIT, UR, prod, set_of
 from repro.nr.values import (
     DEFAULT_UR_ATOM,
-    PairValue,
-    SetValue,
-    UnitValue,
-    UrValue,
     bool_value,
     default_value,
     pair,

@@ -1,0 +1,287 @@
+"""Differential tests: the batched evaluators agree with the per-row oracles.
+
+* ``eval_nrc_batch`` vs per-environment ``eval_nrc`` on random well-typed
+  expressions × random environment families (including the empty family and
+  families with duplicated environments);
+* ``eval_formula_batch`` vs per-assignment ``eval_formula`` on random
+  well-typed Δ0 formulas × random assignment families;
+* the batched ``check_explicit_definition`` vs its per-environment oracle on
+  synthesized definitions over enumerated assignment families;
+* ``check_collection`` on the standalone parameter-collection goal.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from test_core_property import ENV_VARS, _values_of, well_typed_exprs
+
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    EqUr,
+    Exists,
+    Forall,
+    Member,
+    NeqUr,
+    NotMember,
+    Or,
+    Top,
+)
+from repro.logic.semantics import eval_formula, eval_formula_batch, satisfying_assignments
+from repro.logic.terms import Proj, Var
+from repro.nr.columns import ValueInterner
+from repro.nr.types import UR, prod, set_of
+from repro.nr.values import ur, vset
+from repro.nrc.eval import eval_nrc, eval_nrc_batch
+from repro.nrc.expr import NVar
+
+# ----------------------------------------------------------- env families
+families = st.integers(min_value=0, max_value=7)
+
+
+def _family(size, rnd):
+    envs = [{var: _values_of(var.typ, rnd) for var in ENV_VARS} for _ in range(size)]
+    if len(envs) >= 2 and rnd.random() < 0.5:
+        envs[rnd.randrange(len(envs))] = envs[rnd.randrange(len(envs))]  # duplicate a row
+    return envs
+
+
+@given(expr=well_typed_exprs, size=families, data=st.randoms(use_true_random=False))
+def test_eval_nrc_batch_agrees_with_per_env(expr, size, data):
+    envs = _family(size, data)
+    assert eval_nrc_batch(expr, envs) == [eval_nrc(expr, env) for env in envs]
+
+
+@given(expr=well_typed_exprs, size=families, data=st.randoms(use_true_random=False))
+def test_eval_nrc_batch_private_interner_agrees(expr, size, data):
+    envs = _family(size, data)
+    interner = ValueInterner()
+    assert eval_nrc_batch(expr, envs, interner) == [eval_nrc(expr, env) for env in envs]
+
+
+@given(expr=well_typed_exprs)
+def test_eval_nrc_batch_empty_family(expr):
+    assert eval_nrc_batch(expr, []) == []
+
+
+@given(expr=well_typed_exprs, data=st.randoms(use_true_random=False))
+def test_eval_nrc_batch_duplicate_envs(expr, data):
+    env = {var: _values_of(var.typ, data) for var in ENV_VARS}
+    envs = [env, dict(env), env]
+    results = eval_nrc_batch(expr, envs)
+    assert results == [eval_nrc(expr, env)] * 3
+
+
+# ------------------------------------------------------- formula families
+U = Var("u", UR)
+S = Var("s", set_of(UR))
+P = Var("p", prod(UR, set_of(UR)))
+FORMULA_VARS = [U, S, P]
+
+
+def _formulas(quant_depth=2):
+    z_vars = [Var(f"z{i}", UR) for i in range(quant_depth)]
+
+    def atoms(scope):
+        terms = [st.just(term) for term in [U, Proj(1, P)] + list(scope)]
+        term = st.one_of(terms)
+        sets = st.one_of(st.just(S), st.just(Proj(2, P)))
+        return st.one_of(
+            st.just(Top()),
+            st.just(Bottom()),
+            st.builds(EqUr, term, term),
+            st.builds(NeqUr, term, term),
+            st.builds(Member, term, sets),
+            st.builds(NotMember, term, sets),
+        )
+
+    def extend(children, scope):
+        options = [
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+        ]
+        if len(scope) < quant_depth:
+            z = z_vars[len(scope)]
+            inner = _build(scope + [z])
+            bound = st.one_of(st.just(S), st.just(Proj(2, P)))
+            options.append(st.builds(lambda b, body, z=z: Exists(z, b, body), bound, inner))
+            options.append(st.builds(lambda b, body, z=z: Forall(z, b, body), bound, inner))
+        return st.one_of(options)
+
+    def _build(scope):
+        return st.recursive(atoms(scope), lambda ch: extend(ch, scope), max_leaves=6)
+
+    return _build([])
+
+
+well_typed_formulas = _formulas()
+
+
+@given(formula=well_typed_formulas, size=families, data=st.randoms(use_true_random=False))
+def test_eval_formula_batch_agrees_with_per_assignment(formula, size, data):
+    assignments = [{var: _values_of(var.typ, data) for var in FORMULA_VARS} for _ in range(size)]
+    if len(assignments) >= 2:
+        assignments[-1] = assignments[0]  # duplicate-assignment edge case
+    batch = eval_formula_batch(formula, assignments)
+    assert batch == [eval_formula(formula, assignment) for assignment in assignments]
+    expected = [a for a, ok in zip(assignments, batch) if ok]
+    assert satisfying_assignments(formula, assignments) == expected
+
+
+def test_eval_formula_batch_empty_family():
+    assert eval_formula_batch(Top(), []) == []
+
+
+def test_eval_nrc_batch_lazy_unbound_is_per_row():
+    """A free var missing only in rows whose binder source is empty must not raise."""
+    from repro.nrc.expr import NBigUnion, NSingleton
+
+    x = NVar("x", set_of(UR))
+    y = NVar("y", UR)
+    b = NVar("b", UR)
+    expr = NBigUnion(NSingleton(y), b, x)
+    envs = [{x: vset([ur(1)]), y: ur(7)}, {x: vset([])}]
+    assert eval_nrc_batch(expr, envs) == [eval_nrc(expr, env) for env in envs]
+
+
+def test_eval_formula_batch_lazy_unbound_is_per_row():
+    """Same per-row laziness for quantifiers over empty bounds."""
+    z = Var("z", UR)
+    phi = Exists(z, S, EqUr(z, U))
+    assignments = [{S: vset([ur(1)]), U: ur(1)}, {S: vset([])}]
+    assert eval_formula_batch(phi, assignments) == [
+        eval_formula(phi, assignment) for assignment in assignments
+    ]
+
+
+# ----------------------------------------------- end-to-end consumer checks
+def _union_view_family(count):
+    """Assignment families for the union_view problem, with heavy value sharing."""
+    from repro.specs import examples
+
+    problem = examples.union_view()
+    v1, v2 = problem.inputs
+    assignments = []
+    index = 0
+    while len(assignments) < count:
+        a = vset([ur(i % 7) for i in range(index % 5)])
+        b = vset([ur((i + index) % 6) for i in range(index % 4)])
+        assignments.append({v1: a, v2: b, problem.output: vset(a.elements | b.elements)})
+        index += 1
+    return problem, assignments
+
+
+@settings(max_examples=10, deadline=None)
+@given(count=st.integers(min_value=0, max_value=24))
+def test_check_explicit_definition_batched_agrees_with_oracle(count):
+    from repro.proofs.search import ProofSearch
+    from repro.synthesis import check_explicit_definition, synthesize
+
+    problem, assignments = _union_view_family(count)
+    result = synthesize(problem, search=ProofSearch(max_depth=12))
+    batched = check_explicit_definition(problem, result.expression, assignments)
+    oracle = check_explicit_definition(problem, result.expression, assignments, batched=False)
+    assert batched.ok and oracle.ok
+    assert (batched.checked, batched.satisfying) == (oracle.checked, oracle.satisfying)
+
+
+def test_check_explicit_definition_batched_reports_mismatches():
+    from repro.synthesis import check_explicit_definition
+
+    problem, assignments = _union_view_family(8)
+    # A deliberately wrong definition (just the first input): both paths must
+    # flag exactly the satisfying assignments where v1 ≠ v1 ∪ v2.
+    wrong = NVar(problem.inputs[0].name, problem.inputs[0].typ)
+    batched = check_explicit_definition(problem, wrong, assignments)
+    oracle = check_explicit_definition(problem, wrong, assignments, batched=False)
+    assert not batched.ok and not oracle.ok
+    assert batched.mismatches == oracle.mismatches
+    assert (batched.checked, batched.satisfying) == (oracle.checked, oracle.satisfying)
+
+
+def test_check_view_rewriting_batched_agrees_with_oracle():
+    from repro.nrc.expr import NUnion
+    from repro.proofs.search import ProofSearch
+    from repro.specs.problems import ViewRewritingProblem
+    from repro.synthesis import check_view_rewriting, rewrite_query_over_views
+
+    r1 = Var("R1", set_of(UR))
+    r2 = Var("R2", set_of(UR))
+    nr1, nr2 = NVar("R1", r1.typ), NVar("R2", r2.typ)
+    problem = ViewRewritingProblem(
+        name="union_of_identity_views",
+        base=(r1, r2),
+        views=(("V1", nr1), ("V2", nr2)),
+        query=NUnion(nr1, nr2),
+    )
+    result, _implicit = rewrite_query_over_views(problem, search=ProofSearch(max_depth=12))
+    instances = [
+        {r1: vset([ur(i) for i in range(n)]), r2: vset([ur(n), ur(0)])} for n in range(6)
+    ]
+    batched = check_view_rewriting(
+        problem.base, problem.views, problem.query, result.expression, instances
+    )
+    oracle = check_view_rewriting(
+        problem.base, problem.views, problem.query, result.expression, instances, batched=False
+    )
+    assert batched.ok and oracle.ok
+    assert batched.checked == oracle.checked
+
+
+def test_check_implicitly_defines_batched_agrees_with_oracle():
+    problem, assignments = _union_view_family(12)
+    assert problem.check_implicitly_defines(assignments)
+    assert problem.check_implicitly_defines(assignments, batched=False)
+    # Same inputs, different output: both paths must report the counterexample.
+    broken = dict(assignments[0])
+    broken[problem.output] = vset([ur("conflict")])
+    conflicting = assignments + [broken]
+    # The broken row no longer satisfies phi, so definability still holds...
+    assert problem.check_implicitly_defines(conflicting)
+    assert problem.check_implicitly_defines(conflicting, batched=False)
+
+
+def test_check_collection_batched_on_standalone_goal():
+    """Theorem 8 semantics, validated over a family through the batched path."""
+    from repro.interpolation.partition import Partition
+    from repro.logic.macros import iff, member_hat, negate
+    from repro.proofs.search import ProofSearch
+    from repro.proofs.sequents import Sequent
+    from repro.synthesis.parameter_collection import (
+        CollectionGoal,
+        check_collection,
+        parameter_collection,
+    )
+
+    c = Var("c", set_of(UR))
+    A = Var("A", set_of(UR))
+    B = Var("Bc", set_of(UR))
+    D = Var("D", set_of(set_of(UR)))
+    z = Var("z", UR)
+    y = Var("y", set_of(UR))
+    lam = member_hat(z, A)
+    rho = member_hat(z, y)
+    phi_left = Forall(z, c, iff(member_hat(z, A), member_hat(z, B)))
+    phi_right = member_hat(B, D)
+    goal_formula = Exists(y, D, Forall(z, c, iff(lam, rho)))
+    sequent = Sequent.of((), [negate(phi_left), negate(phi_right), goal_formula])
+    proof = ProofSearch(max_depth=12).prove(sequent)
+    partition = Partition.of(sequent, left_delta=[negate(phi_left)], right_delta=[negate(phi_right)])
+    goal = CollectionGoal(goal_formula, c, z, lam)
+    expr, _theta = parameter_collection(proof, partition, goal)
+
+    satisfying = [
+        {c: vset([ur(1), ur(2)]), A: vset([ur(1)]), B: vset([ur(1), ur(3)]), D: vset([vset([ur(1), ur(3)])])},
+        {
+            c: vset([ur(1), ur(2)]),
+            A: vset([ur(1), ur(2), ur(5)]),
+            B: vset([ur(1), ur(2)]),
+            D: vset([vset([ur(1), ur(2)])]),
+        },
+        {c: vset([]), A: vset([ur(9)]), B: vset([ur(9)]), D: vset([vset([ur(9)])])},
+    ]
+    violating = {c: vset([ur(1)]), A: vset([ur(1)]), B: vset([]), D: vset([])}
+    family = satisfying + [violating]
+    report = check_collection(goal, expr, (phi_left, phi_right), family)
+    assert report.ok
+    assert report.checked == 4
+    assert report.satisfying == 3

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import TypeMismatchError
-from repro.nr.types import UR, prod, set_of
+from repro.nr.types import UR, set_of
 from repro.nr.values import pair, ur, vset
 from repro.nrc.compose import compose, nrc_free_vars, nrc_substitute
 from repro.nrc.eval import eval_nrc
@@ -17,7 +17,6 @@ from repro.nrc.expr import (
     NProj,
     NSingleton,
     NUnion,
-    NUnit,
     NVar,
     expr_size,
 )
@@ -37,7 +36,6 @@ from repro.nrc.flat import (
 )
 from repro.nrc.printer import pretty
 from repro.nrc.simplify import simplify
-from repro.nrc.typing import infer_type
 
 
 def test_free_vars_and_substitute():

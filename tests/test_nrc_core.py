@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EvaluationError, TypeMismatchError
-from repro.nr.types import BOOL, UNIT, UR, ProdType, SetType, prod, set_of
+from repro.nr.types import BOOL, UNIT, UR, prod, set_of
 from repro.nr.values import DEFAULT_UR_ATOM, pair, unit, ur, vset
 from repro.nrc.expr import (
     NBigUnion,

@@ -5,11 +5,11 @@ import pytest
 from repro.errors import TypeMismatchError
 from repro.logic.formulas import And, EqUr, Exists, Forall, Member, NeqUr, Or, Top, Bottom
 from repro.logic.macros import member_hat
-from repro.logic.terms import Proj, Var, proj1, proj2
+from repro.logic.terms import Var, proj1, proj2
 from repro.nr.types import BOOL, UNIT, UR, prod, set_of
 from repro.nr.values import bool_value, pair, ur, unit, vset, value_to_bool
 from repro.nrc.eval import eval_nrc
-from repro.nrc.expr import NPair, NProj, NSingleton, NVar
+from repro.nrc.expr import NPair, NProj, NVar
 from repro.nrc.macros import (
     and_expr,
     atoms_expr,

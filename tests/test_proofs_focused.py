@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProofError, ProofSearchError, RuleApplicationError
+from repro.errors import ProofSearchError, RuleApplicationError
 from repro.logic.formulas import (
     And,
     Bottom,
@@ -14,15 +14,14 @@ from repro.logic.formulas import (
     Or,
     Top,
 )
-from repro.logic.macros import equivalent, iff, implies, member_hat, negate, subset_of
-from repro.logic.semantics import eval_formula
+from repro.logic.macros import equivalent, member_hat, negate, subset_of
 from repro.logic.terms import PairTerm, Proj, Var, proj1, proj2
 from repro.nr.types import UR, prod, set_of
 from repro.proofs import focused
 from repro.proofs.checker import check_proof, is_valid_proof
 from repro.proofs.prooftree import ProofNode, proof_depth, proof_size, rules_used, iter_nodes
 from repro.proofs.search import ProofSearch, prove_entailment, prove_sequent
-from repro.proofs.sequents import Sequent, all_el, sequent_free_vars, two_sided
+from repro.proofs.sequents import Sequent, sequent_free_vars, two_sided
 
 
 x = Var("x", UR)

@@ -4,11 +4,11 @@ import itertools
 
 import pytest
 
-from repro.logic.formulas import And, EqUr, Exists, Forall, Member
+from repro.logic.formulas import Exists, Forall
 from repro.logic.macros import equivalent, iff, member_hat
 from repro.logic.semantics import eval_formula
 from repro.logic.terms import Var
-from repro.nr.types import UR, prod, set_of
+from repro.nr.types import UR, set_of
 from repro.nr.values import pair, ur, vset
 from repro.nrc.eval import eval_nrc
 from repro.nrc.expr import NVar
@@ -34,7 +34,6 @@ def _subsets(atoms, max_size=None):
 def _flat_assignments(problem, view_vals, extra=None):
     """Build assignments for single-input problems by enumerating outputs."""
     assignments = []
-    others = [problem.output, *problem.auxiliaries]
     for view in view_vals:
         base_values = {problem.inputs[0]: view}
         assignments.append(base_values)
@@ -56,7 +55,8 @@ def test_synthesize_identity_view():
 
 
 def test_synthesize_union_and_intersection_views():
-    for factory, combine in ((examples.union_view, frozenset.union), (examples.intersection_view, frozenset.intersection)):
+    cases = ((examples.union_view, frozenset.union), (examples.intersection_view, frozenset.intersection))
+    for factory, combine in cases:
         problem = factory()
         result = synthesize(problem, search=ProofSearch(**SEARCH_OPTS))
         v1, v2 = problem.inputs
@@ -202,13 +202,17 @@ def test_parameter_collection_standalone():
     nc, nA, nB, nD = NVar("c", c.typ), NVar("A", A.typ), NVar("Bc", B.typ), NVar("D", D.typ)
     instances = [
         {c: vset([ur(1), ur(2)]), A: vset([ur(1)]), B: vset([ur(1), ur(3)]), D: vset([vset([ur(1), ur(3)])])},
-        {c: vset([ur(1), ur(2)]), A: vset([ur(1), ur(2), ur(5)]), B: vset([ur(1), ur(2)]), D: vset([vset([ur(1), ur(2)])])},
+        {
+            c: vset([ur(1), ur(2)]),
+            A: vset([ur(1), ur(2), ur(5)]),
+            B: vset([ur(1), ur(2)]),
+            D: vset([vset([ur(1), ur(2)])]),
+        },
         {c: vset([]), A: vset([ur(9)]), B: vset([ur(9)]), D: vset([vset([ur(9)])])},
     ]
     for inst in instances:
         assert eval_formula(phi_left, inst) and eval_formula(phi_right, inst)
         lam_set = vset([e for e in inst[c].elements if e in inst[A].elements])
-        value = eval_nrc(expr, {nc: inst[c], nA: inst[A], nB: inst[B], nD: inst[D]})
         env_common = {nc: inst[c], nB: inst[B]}
         value_common = eval_nrc(expr, env_common)
         assert lam_set in value_common.elements, f"Λ={lam_set} not found in E={value_common}"

@@ -23,20 +23,9 @@ via :func:`clear_intern_cache`.
 
 from __future__ import annotations
 
-from dataclasses import fields
-from typing import Dict, Tuple
+from typing import Dict
 
-from repro.core.node import Node, transform_bottom_up
-
-_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
-
-
-def _field_names(cls: type) -> Tuple[str, ...]:
-    names = _FIELD_NAMES.get(cls)
-    if names is None:
-        names = tuple(f.name for f in fields(cls))
-        _FIELD_NAMES[cls] = names
-    return names
+from repro.core.node import Node, dataclass_field_names, transform_bottom_up
 
 
 def install_hash_cache(*classes: type) -> None:
@@ -85,6 +74,39 @@ def install_str_cache(*classes: type) -> None:
 # ------------------------------------------------------------------ interning
 _INTERN_TABLE: Dict[tuple, Node] = {}
 
+#: Optional size bound on the intern table (``None`` = unbounded).  When an
+#: insert would exceed the bound the whole table is dropped: canonical nodes
+#: already handed out stay valid (they keep their caches and equality
+#: semantics), only cross-tree sharing restarts from scratch.  Long-running
+#: services set this through :func:`set_intern_table_limit` so the table
+#: cannot grow without bound across millions of specifications.
+_INTERN_LIMIT = None
+_INTERN_CLEARS = 0
+
+
+def set_intern_table_limit(limit) -> "int | None":
+    """Bound the intern table to ``limit`` entries (``None`` = unbounded).
+
+    Returns the previous limit.  The bound is enforced on insert by clearing
+    the table (an intern table is a pure cache — clearing is always safe, it
+    only costs future sharing).
+    """
+    global _INTERN_LIMIT
+    if limit is not None and limit < 1:
+        raise ValueError("intern table limit must be positive or None")
+    previous = _INTERN_LIMIT
+    _INTERN_LIMIT = limit
+    return previous
+
+
+def intern_cache_stats() -> Dict[str, int]:
+    """Size, bound and clear-count of the intern table (for service telemetry)."""
+    return {
+        "nodes": len(_INTERN_TABLE),
+        "limit": 0 if _INTERN_LIMIT is None else _INTERN_LIMIT,
+        "clears": _INTERN_CLEARS,
+    }
+
 
 def intern(root: Node) -> Node:
     """Return the canonical representative of ``root``.
@@ -99,10 +121,14 @@ def intern(root: Node) -> Node:
 
 def _canonicalize(node: Node) -> Node:
     key = (node.__class__,) + tuple(
-        getattr(node, name) for name in _field_names(node.__class__)
+        getattr(node, name) for name in dataclass_field_names(node.__class__)
     )
     hit = _INTERN_TABLE.get(key)
     if hit is None:
+        if _INTERN_LIMIT is not None and len(_INTERN_TABLE) >= _INTERN_LIMIT:
+            global _INTERN_CLEARS
+            _INTERN_TABLE.clear()
+            _INTERN_CLEARS += 1
         _INTERN_TABLE[key] = node
         return node
     return hit

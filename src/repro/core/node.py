@@ -28,12 +28,44 @@ everywhere in place of the seed's five hand-rolled walkers:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Tuple, TypeVar
+from dataclasses import fields as _dataclass_fields
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
 
 N = TypeVar("N", bound="Node")
 A = TypeVar("A")
 
 _EMPTY_FROZENSET: frozenset = frozenset()
+
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def dataclass_field_names(cls: type) -> Tuple[str, ...]:
+    """Declared dataclass field names of ``cls``, memoized per class.
+
+    Shared by pickling (below) and hash-consing (``core.interning``), which
+    both need the field tuple on hot paths.
+    """
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in _dataclass_fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+def dataclass_state(self) -> dict:
+    """``__getstate__`` for frozen AST dataclasses: persist declared fields only.
+
+    The memoized analyses of the caching contract (``_chash``, ``_fv``,
+    ``_typ``, ``_runner``, ...) live in the instance ``__dict__`` next to the
+    dataclass fields, so default pickling would drag them across process
+    boundaries.  That is both wasteful and wrong: the structural hash is
+    salted per process (``PYTHONHASHSEED``), and the compiled evaluator
+    closures are not picklable at all.  Restricting the pickled state to the
+    declared fields makes every AST round-trip cleanly — caches are simply
+    recomputed on first use in the receiving process.
+    """
+    state = self.__dict__
+    return {name: state[name] for name in dataclass_field_names(self.__class__)}
 
 
 class Node:
@@ -50,6 +82,8 @@ class Node:
     is_variable = False  # True on Var / NVar leaves
     binder = None  # the bound variable on binder nodes, None elsewhere
     body_index = -1  # index in children() the binder scopes over
+
+    __getstate__ = dataclass_state
 
     def children(self) -> Tuple["Node", ...]:
         raise TypeError(

@@ -173,6 +173,32 @@ class ValueInterner:
     def __len__(self) -> int:
         return len(self._kinds)
 
+    # ------------------------------------------------------------- telemetry
+    def stats(self) -> Dict[str, int]:
+        """Sizes of the id space and every memo table (service telemetry)."""
+        return {
+            "ids": len(self._kinds),
+            "ur_ids": len(self._ur_ids),
+            "pair_ids": len(self._pair_ids),
+            "set_ids": len(self._set_ids),
+            "value_memo": len(self._by_value),
+            "union_cache": len(self._union_cache),
+            "diff_cache": len(self._diff_cache),
+            "multi_union_cache": len(self._multi_union_cache),
+        }
+
+    def clear_memo_caches(self) -> None:
+        """Drop the derived-operation memo tables (union/diff/k-way results).
+
+        Ids and their payloads survive — only memoized *recomputable* results
+        are released, so this is always safe to call between batches when a
+        long-running process wants to shed memory without rotating the
+        interner (which would invalidate outstanding ids).
+        """
+        self._union_cache.clear()
+        self._diff_cache.clear()
+        self._multi_union_cache.clear()
+
     # ----------------------------------------------------------- id creation
     def _new_id(self, kind: int, payload: object) -> int:
         vid = len(self._kinds)
@@ -646,6 +672,9 @@ SHARED_INTERNER_MAX_IDS = 1_000_000
 _SHARED_INTERNER = ValueInterner()
 
 
+_SHARED_ROTATIONS = 0
+
+
 def shared_interner() -> ValueInterner:
     """The process-wide interner shared by the batched evaluator defaults.
 
@@ -653,7 +682,37 @@ def shared_interner() -> ValueInterner:
     grab one instance per batch (all built-in consumers do) rather than
     holding ids across separately obtained instances.
     """
-    global _SHARED_INTERNER
+    global _SHARED_INTERNER, _SHARED_ROTATIONS
     if len(_SHARED_INTERNER) > SHARED_INTERNER_MAX_IDS:
         _SHARED_INTERNER = ValueInterner()
+        _SHARED_ROTATIONS += 1
     return _SHARED_INTERNER
+
+
+def set_shared_interner_max_ids(limit: int) -> int:
+    """Re-bound the shared interner's rotation threshold; returns the old bound.
+
+    Long-running services tune this down to cap the columnar layer's memory;
+    the bound takes effect at the next :func:`shared_interner` call.
+    """
+    global SHARED_INTERNER_MAX_IDS
+    if limit < 1:
+        raise ValueError("shared interner bound must be positive")
+    previous = SHARED_INTERNER_MAX_IDS
+    SHARED_INTERNER_MAX_IDS = limit
+    return previous
+
+
+def shared_interner_stats() -> Dict[str, int]:
+    """Stats of the current shared interner plus its rotation telemetry."""
+    stats = _SHARED_INTERNER.stats()
+    stats["max_ids"] = SHARED_INTERNER_MAX_IDS
+    stats["rotations"] = _SHARED_ROTATIONS
+    return stats
+
+
+def reset_shared_interner() -> None:
+    """Force an immediate rotation of the shared interner (frees all ids)."""
+    global _SHARED_INTERNER, _SHARED_ROTATIONS
+    _SHARED_INTERNER = ValueInterner()
+    _SHARED_ROTATIONS += 1

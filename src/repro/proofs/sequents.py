@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple
 
 from repro.core.interning import install_hash_cache
+from repro.core.node import dataclass_state
 from repro.errors import FormulaError
 from repro.logic.formulas import Formula, Member, is_delta0, is_existential_leading
 from repro.logic.free_vars import free_vars
@@ -30,6 +31,10 @@ class Sequent:
 
     theta: FrozenSet[Member]
     delta: FrozenSet[Formula]
+
+    # Sequents cache their hash and free variables in-instance; keep those
+    # (process-local) memos out of pickles — see core.node.dataclass_state.
+    __getstate__ = dataclass_state
 
     @staticmethod
     def of(theta: Iterable[Member] = (), delta: Iterable[Formula] = ()) -> "Sequent":

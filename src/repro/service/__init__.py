@@ -1,0 +1,39 @@
+"""The synthesis service layer: orchestration on top of the library calls.
+
+* :mod:`repro.service.cache`    — content-addressed result cache (LRU +
+  optional persistent disk tier, bounded-memory hooks).
+* :mod:`repro.service.pipeline` — the staged pipeline with per-stage timings
+  and provenance (:class:`PipelineReport`).
+* :mod:`repro.service.registry` — named, discoverable problems: the paper's
+  examples plus parametric scenario families.
+* :mod:`repro.service.workers`  — the parallel scenario runner (per-job
+  process isolation and timeouts).
+* :mod:`repro.service.cli`      — ``python -m repro`` subcommands.
+"""
+
+from repro.service.cache import CacheStats, SynthesisCache, spec_digest, spec_key
+from repro.service.pipeline import PipelineReport, StageTiming, SynthesisPipeline
+from repro.service.registry import (
+    ProblemRegistry,
+    RegistryEntry,
+    build_default_registry,
+    default_registry,
+)
+from repro.service.workers import JobOutcome, SweepSummary, run_sweep
+
+__all__ = [
+    "CacheStats",
+    "SynthesisCache",
+    "spec_digest",
+    "spec_key",
+    "PipelineReport",
+    "StageTiming",
+    "SynthesisPipeline",
+    "ProblemRegistry",
+    "RegistryEntry",
+    "build_default_registry",
+    "default_registry",
+    "JobOutcome",
+    "SweepSummary",
+    "run_sweep",
+]

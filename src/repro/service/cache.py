@@ -1,0 +1,328 @@
+"""Content-addressed cache of synthesis results.
+
+Synthesis is pure: the explicit definition depends only on the specification
+``φ(ī, ā, o)`` and the declared variable roles — never on the problem *name*
+or the process that ran the proof search.  Results are therefore cached under
+a **content address** derived from the interned specification:
+
+* the in-memory tier keys an LRU ``OrderedDict`` on a :class:`SpecKey` whose
+  formula component is hash-consed (:func:`repro.core.interning.intern`), so
+  key hashing reuses the per-node ``_chash`` cache and key equality degrades
+  to pointer comparisons between canonical trees;
+* the optional on-disk tier addresses entries by :func:`spec_digest`, a
+  SHA-256 over the *deterministic rendering* of the specification and the
+  variable signature.  Renderings — unlike Python hashes — are stable across
+  processes (``PYTHONHASHSEED``) and machines, so sweep workers and later
+  service processes share one persistent store.  Each entry is a pickle of
+  the full :class:`~repro.synthesis.implicit_to_explicit.SynthesisResult`
+  (AST classes pickle fields-only, see ``core.node.dataclass_state``) next to
+  a human-readable JSON sidecar used by ``python -m repro cache-stats``.
+
+Long-running services must not grow without bound; :meth:`SynthesisCache.
+maintain` size-bounds the process-global memo structures the synthesis stack
+accumulates: the hash-consing intern table (``core/interning.py``) and the
+shared columnar :class:`~repro.nr.columns.ValueInterner` (``nr/columns.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interning import clear_intern_cache, intern, intern_cache_stats
+from repro.logic.formulas import Formula
+from repro.logic.terms import Var
+from repro.nr.columns import reset_shared_interner, shared_interner_stats
+from repro.nrc.expr import expr_size
+from repro.specs.problems import ImplicitDefinitionProblem
+from repro.synthesis.implicit_to_explicit import SynthesisResult
+
+#: Default bound on the in-memory tier (entries, not bytes: synthesized
+#: expressions are small compared to the proof trees they carry).
+DEFAULT_CAPACITY = 128
+
+#: Defaults for :meth:`SynthesisCache.maintain`'s process-global bounds.
+DEFAULT_INTERN_TABLE_BOUND = 250_000
+DEFAULT_INTERNER_ID_BOUND = 1_000_000
+
+
+@dataclass(frozen=True)
+class SpecKey:
+    """The in-memory content key: interned specification + variable roles."""
+
+    phi: Formula
+    inputs: Tuple[Var, ...]
+    output: Var
+    auxiliaries: Tuple[Var, ...]
+
+
+def spec_key(problem: ImplicitDefinitionProblem) -> SpecKey:
+    """Content key of ``problem`` (the formula component is hash-consed)."""
+    return SpecKey(intern(problem.phi), problem.inputs, problem.output, problem.auxiliaries)
+
+
+def spec_digest(problem: ImplicitDefinitionProblem) -> str:
+    """Stable hex content address of ``problem`` (cross-process, cross-machine).
+
+    Built from deterministic renderings: the specification's string form and
+    the ``name:type`` signature of every declared variable.  Two problems
+    with the same structure share an address even under different problem
+    names — the cache stores *results of specifications*, not of labels.
+    """
+    signature = "\n".join(
+        [
+            f"phi={problem.phi}",
+            "inputs=" + ";".join(f"{v.name}:{v.typ}" for v in problem.inputs),
+            f"output={problem.output.name}:{problem.output.typ}",
+            "aux=" + ";".join(f"{v.name}:{v.typ}" for v in problem.auxiliaries),
+        ]
+    )
+    return hashlib.sha256(signature.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for both tiers plus maintenance telemetry."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    intern_table_clears: int = 0
+    interner_rotations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class DiskEntry:
+    """One on-disk cache entry's metadata (from its JSON sidecar)."""
+
+    digest: str
+    name: str
+    expression: str
+    expression_size: int
+    proof_size: int
+    created: float
+    payload_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class SynthesisCache:
+    """Two-tier content-addressed store of :class:`SynthesisResult` objects.
+
+    ``capacity`` bounds the in-memory LRU tier; ``disk_dir`` (optional)
+    enables the persistent tier shared across processes.  ``lookup`` promotes
+    disk hits into memory; ``store`` writes through to both tiers.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        disk_dir: Optional[os.PathLike] = None,
+        intern_table_bound: int = DEFAULT_INTERN_TABLE_BOUND,
+        interner_id_bound: int = DEFAULT_INTERNER_ID_BOUND,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.intern_table_bound = intern_table_bound
+        self.interner_id_bound = interner_id_bound
+        self.stats = CacheStats()
+        self._lru: "OrderedDict[SpecKey, SynthesisResult]" = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_tmp_files()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(
+        self, problem: ImplicitDefinitionProblem
+    ) -> Tuple[Optional[SynthesisResult], str]:
+        """``(result, tier)`` with tier in ``"memory"``/``"disk"``/``"miss"``."""
+        key = spec_key(problem)
+        result = self._lru.get(key)
+        if result is not None:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return result, "memory"
+        if self.disk_dir is not None:
+            result = self._disk_load(spec_digest(problem))
+            if result is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._memory_store(key, result)
+                return result, "disk"
+        self.stats.misses += 1
+        return None, "miss"
+
+    def get(self, problem: ImplicitDefinitionProblem) -> Optional[SynthesisResult]:
+        return self.lookup(problem)[0]
+
+    # ----------------------------------------------------------------- store
+    def store(
+        self,
+        problem: ImplicitDefinitionProblem,
+        result: SynthesisResult,
+        digest: Optional[str] = None,
+    ) -> str:
+        """Write ``result`` through both tiers; returns the content digest.
+
+        ``digest`` lets callers that already computed :func:`spec_digest`
+        (the pipeline puts it in every report) avoid rendering φ twice.
+        """
+        if digest is None:
+            digest = spec_digest(problem)
+        self._memory_store(spec_key(problem), result)
+        self.stats.stores += 1
+        if self.disk_dir is not None:
+            self._disk_store(digest, problem, result)
+            self.stats.disk_stores += 1
+        return digest
+
+    def _memory_store(self, key: SpecKey, result: SynthesisResult) -> None:
+        lru = self._lru
+        if key in lru:
+            lru.move_to_end(key)
+        lru[key] = result
+        while len(lru) > self.capacity:
+            lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the disk tier is left untouched)."""
+        self._lru.clear()
+
+    # ----------------------------------------------------------- maintenance
+    def maintain(self) -> None:
+        """Size-bound the process-global memo structures synthesis feeds.
+
+        Called by the pipeline after every run: polls the telemetry hooks
+        (:func:`~repro.core.interning.intern_cache_stats`,
+        :func:`~repro.nr.columns.shared_interner_stats`) and applies their
+        clearing actions when this cache's bounds are exceeded.  The
+        hash-consing intern table and the shared columnar interner are pure
+        caches — clearing or rotating them never changes results, it only
+        resets sharing — so bounding them here keeps long-running service
+        processes flat.  (Processes that drive synthesis without a pipeline
+        can instead install standing insert-time bounds via
+        ``set_intern_table_limit`` / ``set_shared_interner_max_ids``.)
+        """
+        if self.intern_table_bound and intern_cache_stats()["nodes"] > self.intern_table_bound:
+            clear_intern_cache()
+            self.stats.intern_table_clears += 1
+        if self.interner_id_bound and shared_interner_stats()["ids"] > self.interner_id_bound:
+            reset_shared_interner()
+            self.stats.interner_rotations += 1
+
+    # ------------------------------------------------------------- disk tier
+    #: A worker SIGTERMed mid-write (the sweep's per-job timeout) can leave a
+    #: ``*.tmp`` file behind; anything older than this is safe to reap.
+    STALE_TMP_SECONDS = 600.0
+
+    def _sweep_stale_tmp_files(self) -> None:
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for tmp in self.disk_dir.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue
+
+    def _entry_paths(self, digest: str) -> Tuple[Path, Path]:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{digest}.pkl", self.disk_dir / f"{digest}.json"
+
+    def _disk_load(self, digest: str) -> Optional[SynthesisResult]:
+        payload_path, _ = self._entry_paths(digest)
+        try:
+            blob = payload_path.read_bytes()
+        except OSError:
+            return None
+        try:
+            result = pickle.loads(blob)
+        except Exception:
+            # A truncated or stale entry must read as a miss, never an error;
+            # drop it so the slot is rebuilt by the next store.
+            self._disk_evict(digest)
+            return None
+        if not isinstance(result, SynthesisResult):
+            self._disk_evict(digest)
+            return None
+        # Re-canonicalize so the loaded tree shares caches with live nodes.
+        result.expression = intern(result.expression)
+        return result
+
+    def _disk_store(
+        self, digest: str, problem: ImplicitDefinitionProblem, result: SynthesisResult
+    ) -> None:
+        payload_path, meta_path = self._entry_paths(digest)
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        meta = DiskEntry(
+            digest=digest,
+            name=problem.name,
+            expression=str(result.expression),
+            expression_size=expr_size(result.expression),
+            proof_size=result.proof_size,
+            created=time.time(),
+            payload_bytes=len(blob),
+        )
+        _atomic_write_bytes(payload_path, blob)
+        _atomic_write_bytes(meta_path, (json.dumps(meta.as_dict(), indent=2) + "\n").encode())
+
+    def _disk_evict(self, digest: str) -> None:
+        for path in self._entry_paths(digest):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def disk_entries(self) -> List[DiskEntry]:
+        """Metadata of every persistent entry (newest first)."""
+        if self.disk_dir is None:
+            return []
+        return disk_entries(self.disk_dir)
+
+
+def disk_entries(disk_dir: os.PathLike) -> List[DiskEntry]:
+    """Read every JSON sidecar under ``disk_dir`` (tolerating corrupt ones)."""
+    entries = []
+    for meta_path in sorted(Path(disk_dir).glob("*.json")):
+        try:
+            raw = json.loads(meta_path.read_text())
+            entries.append(DiskEntry(**raw))
+        except (OSError, ValueError, TypeError):
+            continue
+    entries.sort(key=lambda entry: entry.created, reverse=True)
+    return entries
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write-then-rename so concurrent sweep workers never read torn entries."""
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,314 @@
+"""``python -m repro`` — the synthesis service command line.
+
+Subcommands::
+
+    python -m repro list        [--tag T] [--json]
+    python -m repro synthesize  NAME [--max-depth N] [--verify-scale N]
+                                [--cache-dir D] [--raw] [--json]
+    python -m repro verify      NAME [--scale N] [--max-depth N] [--json]
+    python -m repro sweep       [NAME ...] [--all] [--processes N]
+                                [--timeout S] [--verify-scale N]
+                                [--cache-dir D] [--max-depth N] [--json]
+    python -m repro cache-stats [--cache-dir D] [--json]
+
+Everything prints human-readable text by default; ``--json`` switches every
+subcommand to a machine-readable JSON document on stdout (one object).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.service.cache import disk_entries
+from repro.service.registry import RegistryEntry, default_registry
+from repro.service.workers import DEFAULT_VERIFY_SCALE, pipeline_for_entry, run_sweep
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: message + process exit code."""
+
+    def __init__(self, message: str, code: int = 2) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesize nested relational queries from implicit specifications "
+        "(Benedikt–Pradic–Wernhard, PODS 2023) — service front end.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the registered problems")
+    list_parser.add_argument("--tag", help="only entries carrying this tag")
+    list_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    synth_parser = subparsers.add_parser(
+        "synthesize", help="run one problem through the staged pipeline"
+    )
+    synth_parser.add_argument("name", help="registry name (see `repro list`)")
+    synth_parser.add_argument("--max-depth", type=int, default=None, help="proof-search depth")
+    synth_parser.add_argument(
+        "--verify-scale",
+        type=int,
+        default=0,
+        help="also verify on this many generated instances (0 = skip)",
+    )
+    synth_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
+    synth_parser.add_argument(
+        "--raw", action="store_true", help="print the unsimplified definition too"
+    )
+    synth_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="synthesize + check the definition on generated instances"
+    )
+    verify_parser.add_argument("name")
+    verify_parser.add_argument(
+        "--scale", type=int, default=DEFAULT_VERIFY_SCALE, help="instance family size"
+    )
+    verify_parser.add_argument("--max-depth", type=int, default=None)
+    verify_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run many problems through the parallel pipeline"
+    )
+    sweep_parser.add_argument(
+        "names", nargs="*", help="registry names (default: every synthesizable entry)"
+    )
+    sweep_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="sweep every entry, including known-xfail and hard ones (set --timeout!)",
+    )
+    sweep_parser.add_argument("--processes", type=int, default=None)
+    sweep_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    sweep_parser.add_argument("--verify-scale", type=int, default=0)
+    sweep_parser.add_argument("--cache-dir", default=None)
+    sweep_parser.add_argument("--max-depth", type=int, default=None)
+    sweep_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    stats_parser = subparsers.add_parser(
+        "cache-stats", help="inspect a persistent cache directory"
+    )
+    stats_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
+    stats_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_list(args) -> int:
+    registry = default_registry()
+    entries = registry.entries(tag=args.tag)
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": entry.name,
+                        "description": entry.description,
+                        "tags": list(entry.tags),
+                        "expected": entry.expected,
+                        "has_instances": entry.instances is not None,
+                    }
+                    for entry in entries
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not entries:
+        print("no registered problems match")
+        return 1
+    width = max(len(entry.name) for entry in entries)
+    for entry in entries:
+        marker = {"ok": " ", "xfail": "x", "hard": "!"}[entry.expected]
+        tags = f" [{', '.join(entry.tags)}]" if entry.tags else ""
+        print(f"{marker} {entry.name:<{width}}  {entry.description}{tags}")
+    print(f"\n{len(entries)} problems ('x' = known-xfail, '!' = needs a hand-written proof)")
+    return 0
+
+
+def _get_entry(name: str) -> RegistryEntry:
+    try:
+        return default_registry().get(name)
+    except KeyError as exc:
+        raise CliError(exc.args[0]) from exc
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.nrc.printer import pretty
+
+    entry = _get_entry(args.name)
+    cache_dir = getattr(args, "cache_dir", None)
+    try:
+        pipeline = pipeline_for_entry(
+            entry,
+            cache_dir=cache_dir,
+            max_depth=args.max_depth,
+            memory_cache=True,
+        )
+    except OSError as exc:
+        raise CliError(f"cannot use cache dir {cache_dir!r}: {exc}") from exc
+    assignments = None
+    if args.verify_scale and entry.instances is not None:
+        assignments = entry.instances(args.verify_scale)
+    try:
+        report = pipeline.run(entry.problem(), assignments)
+    except ReproError as exc:
+        note = ""
+        if entry.expected != "ok":
+            note = f" (a known limitation: this entry is marked {entry.expected!r} in the registry)"
+        raise CliError(f"{type(exc).__name__}: {exc}{note}", code=1) from exc
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        result = report.result
+        print(f"problem {report.problem_name}  (digest {report.digest[:12]}…)")
+        for stage in report.stages:
+            extra = ""
+            if stage.detail:
+                extra = "  " + ", ".join(f"{k}={v}" for k, v in stage.detail.items())
+            print(f"  {stage.name:<15} {stage.seconds * 1000:9.2f} ms{extra}")
+        tier = report.cache_tier
+        print(f"  total           {report.total_seconds * 1000:9.2f} ms  (cache: {tier})")
+        print("\nsynthesized definition:")
+        print(pretty(result.expression))
+        if args.raw and result.raw_expression is not None:
+            print("\nraw (pre-simplification) definition:")
+            print(pretty(result.raw_expression))
+        if report.verification is not None:
+            verification = report.verification
+            print(
+                f"\nverification: {verification.satisfying}/{verification.checked} satisfying "
+                f"instances, {'ok' if verification.ok else 'MISMATCH'}"
+            )
+    if report.verification is not None and not report.verification.ok:
+        return 1
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    entry = _get_entry(args.name)
+    if entry.instances is None:
+        raise CliError(f"problem {args.name!r} has no instance generator; cannot verify")
+    if args.scale < 1:
+        raise CliError("--scale must be at least 1: verifying zero instances verifies nothing")
+    args.verify_scale = args.scale
+    args.cache_dir = None
+    args.raw = False
+    return _cmd_synthesize(args)
+
+
+def _cmd_sweep(args) -> int:
+    registry = default_registry()
+    if args.names:
+        names = args.names
+    elif args.all:
+        names = registry.names()
+    else:
+        names = None  # every sweepable entry
+    summary = run_sweep(
+        names=names,
+        registry=registry,
+        processes=args.processes,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        max_depth=args.max_depth,
+        verify_scale=args.verify_scale,
+    )
+    if args.as_json:
+        print(json.dumps(summary.as_dict(), indent=2))
+        return 0 if summary.ok else 1
+    width = max(len(outcome.name) for outcome in summary.outcomes)
+    for outcome in summary.outcomes:
+        line = f"{outcome.status:>7}  {outcome.name:<{width}}  {outcome.seconds * 1000:9.1f} ms"
+        if outcome.cache_tier in ("memory", "disk"):
+            line += f"  (cache {outcome.cache_tier})"
+        if outcome.verified is not None:
+            line += f"  verified={outcome.verified}"
+        if outcome.error and outcome.status != "ok":
+            note = " (expected)" if outcome.expected != "ok" else ""
+            line += f"  {outcome.error}{note}"
+        print(line)
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
+    print(
+        f"\n{len(summary.outcomes)} jobs in {summary.wall_seconds:.2f}s "
+        f"on {summary.processes} processes: {counts}, cache hits {summary.cache_hits}"
+    )
+    if not summary.ok:
+        failed = ", ".join(outcome.name for outcome in summary.unexpected_failures)
+        print(f"unexpected failures: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    if not args.cache_dir:
+        from repro.core.interning import intern_cache_stats
+        from repro.nr.columns import shared_interner_stats
+
+        process = {
+            "intern_table": intern_cache_stats(),
+            "shared_value_interner": shared_interner_stats(),
+        }
+        if args.as_json:
+            print(json.dumps({"process": process}, indent=2))
+            return 0
+        print("no --cache-dir given; showing this process's in-memory telemetry:")
+        for name, stats in process.items():
+            rendered = ", ".join(f"{key}={value}" for key, value in stats.items())
+            print(f"  {name}: {rendered}")
+        return 0
+    entries = disk_entries(args.cache_dir)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "cache_dir": str(args.cache_dir),
+                    "entries": [entry.as_dict() for entry in entries],
+                    "total_payload_bytes": sum(entry.payload_bytes for entry in entries),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if not entries:
+        print(f"{args.cache_dir}: empty cache")
+        return 0
+    for entry in entries:
+        print(
+            f"{entry.digest[:12]}…  {entry.name:<28} expr size {entry.expression_size:>4}  "
+            f"proof size {entry.proof_size:>4}  {entry.payload_bytes:>8} bytes"
+        )
+    total = sum(entry.payload_bytes for entry in entries)
+    print(f"\n{len(entries)} entries, {total} payload bytes")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "synthesize": _cmd_synthesize,
+    "verify": _cmd_verify,
+    "sweep": _cmd_sweep,
+    "cache-stats": _cmd_cache_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,282 @@
+"""The staged synthesis pipeline: validation → proof search → extraction →
+simplification → verification, with per-stage timings and provenance.
+
+The library entry point (:func:`repro.synthesis.synthesize`) is one opaque
+call; a service needs the same computation decomposed into named, individually
+timed stages so operators can see *where* a specification spends its budget
+and *what* produced each cached artifact.  :class:`SynthesisPipeline` runs
+
+========================  ====================================================
+stage                     what it does
+========================  ====================================================
+``validate``              re-checks the specification, hash-conses ``φ``
+``cache-lookup``          content-addressed lookup (:mod:`repro.service.cache`)
+``proof-search``          focused determinacy proof (Theorem 2's witness)
+``extraction``            proof → raw NRC definition (Theorems 4/10, App. G)
+``simplification``        rewrite-engine cleanup of the raw definition
+``verification``          batched semantic check on an instance family
+``cache-store``           write-through of the finished result
+========================  ====================================================
+
+and records everything in a :class:`PipelineReport`.  A cache hit skips the
+three expensive middle stages; verification (optional — it needs an instance
+family) always runs so a hit is still validated against fresh instances.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.interning import intern, intern_table_size
+from repro.logic.formulas import formula_size
+from repro.logic.free_vars import free_vars
+from repro.logic.terms import Var
+from repro.logic.typecheck import check_formula
+from repro.nr.values import Value
+from repro.nrc.expr import expr_size
+from repro.nrc.simplify import simplify_with_stats
+from repro.proofs.prooftree import proof_size, rules_used
+from repro.proofs.search import ProofSearch
+from repro.service.cache import SynthesisCache, spec_digest
+from repro.specs.problems import ImplicitDefinitionProblem
+from repro.synthesis.implicit_to_explicit import (
+    SynthesisResult,
+    find_determinacy_proof,
+    synthesize,
+)
+from repro.synthesis.verification import VerificationReport, check_explicit_definition
+
+#: Stage names in execution order (import these instead of retyping strings).
+STAGE_VALIDATE = "validate"
+STAGE_CACHE_LOOKUP = "cache-lookup"
+STAGE_PROOF_SEARCH = "proof-search"
+STAGE_EXTRACTION = "extraction"
+STAGE_SIMPLIFICATION = "simplification"
+STAGE_VERIFICATION = "verification"
+STAGE_CACHE_STORE = "cache-store"
+
+
+@dataclass
+class StageTiming:
+    """One named stage: wall-clock seconds plus stage-specific provenance."""
+
+    name: str
+    seconds: float
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineReport:
+    """Full provenance of one pipeline run."""
+
+    problem_name: str
+    digest: str
+    cache_tier: str  # "memory" | "disk" | "miss" | "off"
+    stages: List[StageTiming] = field(default_factory=list)
+    result: Optional[SynthesisResult] = None
+    verification: Optional[VerificationReport] = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_tier in ("memory", "disk")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def stage(self, name: str) -> Optional[StageTiming]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return {stage.name: stage.seconds for stage in self.stages}
+
+    def to_dict(self, include_expression: bool = True) -> Dict[str, object]:
+        """JSON-ready rendering (used by the CLI's ``--json`` mode)."""
+        payload: Dict[str, object] = {
+            "problem": self.problem_name,
+            "digest": self.digest,
+            "cache_tier": self.cache_tier,
+            "cache_hit": self.cache_hit,
+            "total_seconds": round(self.total_seconds, 6),
+            "stages": [
+                {"name": s.name, "seconds": round(s.seconds, 6), **({"detail": s.detail} if s.detail else {})}
+                for s in self.stages
+            ],
+        }
+        if include_expression and self.result is not None:
+            payload["expression"] = str(self.result.expression)
+            payload["expression_size"] = expr_size(self.result.expression)
+            payload["proof_size"] = self.result.proof_size
+        if self.verification is not None:
+            payload["verification"] = {
+                "checked": self.verification.checked,
+                "satisfying": self.verification.satisfying,
+                "ok": self.verification.ok,
+            }
+        return payload
+
+
+class SynthesisPipeline:
+    """Runs specifications through the staged synthesis service.
+
+    ``cache`` — optional :class:`SynthesisCache` (shared across runs);
+    ``search_factory`` — builds a fresh :class:`ProofSearch` per run so search
+    statistics are per-problem and concurrent pipelines never share mutable
+    search state.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[SynthesisCache] = None,
+        search_factory: Optional[Callable[[], ProofSearch]] = None,
+        simplify_output: bool = True,
+        validate_proof: bool = True,
+    ) -> None:
+        self.cache = cache
+        self.search_factory = search_factory or (lambda: ProofSearch(max_depth=12))
+        self.simplify_output = simplify_output
+        self.validate_proof = validate_proof
+
+    def run(
+        self,
+        problem: ImplicitDefinitionProblem,
+        assignments: Optional[Sequence[Mapping[Var, Value]]] = None,
+    ) -> PipelineReport:
+        """Synthesize (or recall) the explicit definition, fully instrumented.
+
+        ``assignments`` — optional satisfying-instance family for the batched
+        verification stage; omitted, the stage is skipped.
+        """
+        report = PipelineReport(
+            problem_name=problem.name,
+            digest=spec_digest(problem),
+            cache_tier="off" if self.cache is None else "miss",
+        )
+        stages = report.stages
+
+        # -------- validate: re-check the specification, canonicalize φ.
+        start = time.perf_counter()
+        check_formula(problem.phi, allow_membership=False)
+        canonical_phi = intern(problem.phi)
+        if canonical_phi is not problem.phi:
+            problem = ImplicitDefinitionProblem(
+                problem.name, canonical_phi, problem.inputs, problem.output, problem.auxiliaries
+            )
+        stages.append(
+            StageTiming(
+                STAGE_VALIDATE,
+                time.perf_counter() - start,
+                {
+                    "formula_size": formula_size(problem.phi),
+                    "free_vars": len(free_vars(problem.phi)),
+                    "intern_table_nodes": intern_table_size(),
+                },
+            )
+        )
+
+        # -------- cache-lookup.
+        result: Optional[SynthesisResult] = None
+        if self.cache is not None:
+            start = time.perf_counter()
+            result, tier = self.cache.lookup(problem)
+            report.cache_tier = tier
+            stages.append(StageTiming(STAGE_CACHE_LOOKUP, time.perf_counter() - start, {"tier": tier}))
+
+        if result is None:
+            result = self._synthesize_staged(problem, stages)
+        report.result = result
+
+        # -------- verification (runs on hits too: instances may be new).
+        if assignments is not None:
+            start = time.perf_counter()
+            verification = check_explicit_definition(problem, result.expression, list(assignments))
+            report.verification = verification
+            stages.append(
+                StageTiming(
+                    STAGE_VERIFICATION,
+                    time.perf_counter() - start,
+                    {
+                        "checked": verification.checked,
+                        "satisfying": verification.satisfying,
+                        "ok": verification.ok,
+                    },
+                )
+            )
+
+        # -------- cache-store + bounded-memory maintenance.
+        if self.cache is not None:
+            if not report.cache_hit:
+                start = time.perf_counter()
+                self.cache.store(problem, result, digest=report.digest)
+                stages.append(
+                    StageTiming(
+                        STAGE_CACHE_STORE,
+                        time.perf_counter() - start,
+                        {"disk": self.cache.disk_dir is not None},
+                    )
+                )
+            self.cache.maintain()
+        return report
+
+    # ------------------------------------------------------------------ cold
+    def _synthesize_staged(
+        self, problem: ImplicitDefinitionProblem, stages: List[StageTiming]
+    ) -> SynthesisResult:
+        search = self.search_factory()
+
+        start = time.perf_counter()
+        proof = find_determinacy_proof(problem, search)
+        stages.append(
+            StageTiming(
+                STAGE_PROOF_SEARCH,
+                time.perf_counter() - start,
+                {
+                    "proof_size": proof_size(proof),
+                    "rules": rules_used(proof),
+                    "attempts": search.stats.attempts,
+                    "exists_moves": search.stats.exists_moves,
+                },
+            )
+        )
+
+        start = time.perf_counter()
+        raw_result = synthesize(
+            problem,
+            proof=proof,
+            search=search,
+            simplify_output=False,
+            validate_proof=self.validate_proof,
+        )
+        raw = raw_result.expression
+        stages.append(
+            StageTiming(STAGE_EXTRACTION, time.perf_counter() - start, {"raw_size": expr_size(raw)})
+        )
+
+        if not self.simplify_output:
+            return raw_result
+
+        start = time.perf_counter()
+        simplified, rewrite_stats = simplify_with_stats(raw)
+        stages.append(
+            StageTiming(
+                STAGE_SIMPLIFICATION,
+                time.perf_counter() - start,
+                {
+                    "size_before": expr_size(raw),
+                    "size_after": expr_size(simplified),
+                    "rewrite_passes": rewrite_stats.passes,
+                },
+            )
+        )
+        return SynthesisResult(
+            problem=problem,
+            expression=simplified,
+            proof=raw_result.proof,
+            interpolant=raw_result.interpolant,
+            raw_expression=raw,
+        )

@@ -1,0 +1,292 @@
+"""Parallel scenario runner: sweep many registry problems concurrently.
+
+Each job runs in its **own worker process** (one process per job, up to
+``processes`` concurrent), which buys two properties a shared pool cannot
+give:
+
+* *failure isolation* — a crashing or memory-exploding job takes down only
+  its process; the sweep records the failure and keeps going;
+* *per-job timeouts* — a stuck proof search (the ``"hard"`` registry entries
+  would search for hours) is ``terminate()``-d at its deadline instead of
+  wedging a pool worker forever.
+
+Jobs cross the process boundary as registry *names* plus a small options
+dict, and come back as flat :class:`JobOutcome` records (strings and numbers
+only) — no AST pickling on the hot path.  Workers share results through the
+cache's persistent disk tier when ``cache_dir`` is set: the first worker to
+synthesize a specification stores it; every later worker (and the parent
+process) gets a disk hit.
+
+``processes=1`` (or a single job) runs inline in the calling process — same
+code path, no multiprocessing — which is also the mode the test-suite uses
+for determinism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.nrc.expr import expr_size
+from repro.proofs.search import ProofSearch
+from repro.service.cache import SynthesisCache
+from repro.service.pipeline import SynthesisPipeline
+from repro.service.registry import EXPECTED_OK, ProblemRegistry, RegistryEntry, default_registry
+
+#: Default verification family size when a sweep verifies (``scale`` rows).
+DEFAULT_VERIFY_SCALE = 24
+
+
+@dataclass
+class JobOutcome:
+    """Flat, picklable record of one sweep job."""
+
+    name: str
+    status: str  # "ok" | "error" | "timeout"
+    seconds: float
+    expected: str = EXPECTED_OK
+    cache_tier: str = "off"
+    expression: Optional[str] = None
+    expression_size: Optional[int] = None
+    proof_size: Optional[int] = None
+    verified: Optional[bool] = None
+    error: Optional[str] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def unexpected_failure(self) -> bool:
+        """A failure on an entry that was expected to synthesize cleanly."""
+        return self.status != "ok" and self.expected == EXPECTED_OK
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SweepSummary:
+    """All job outcomes plus aggregate counters."""
+
+    outcomes: List[JobOutcome]
+    wall_seconds: float
+    processes: int
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_tier in ("memory", "disk"))
+
+    @property
+    def unexpected_failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.unexpected_failure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexpected_failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "processes": self.processes,
+            "counts": self.counts,
+            "cache_hits": self.cache_hits,
+            "ok": self.ok,
+            "jobs": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+# ---------------------------------------------------------------- job bodies
+def pipeline_for_entry(
+    entry: RegistryEntry,
+    cache_dir: Optional[str] = None,
+    max_depth: Optional[int] = None,
+    memory_cache: bool = False,
+) -> SynthesisPipeline:
+    """The one cache+search policy shared by sweep workers and the CLI.
+
+    With ``cache_dir`` the pipeline uses the persistent disk tier (shared
+    across processes); otherwise ``memory_cache`` selects between a
+    process-local LRU and no cache at all — sweep workers run one problem per
+    process, where an in-memory tier could never be hit, so they pass
+    ``False`` and the report shows the truthful ``"off"``.
+    """
+    cache = None
+    if cache_dir:
+        cache = SynthesisCache(disk_dir=cache_dir)
+    elif memory_cache:
+        cache = SynthesisCache()
+    depth = entry.max_depth if max_depth is None else max_depth
+    return SynthesisPipeline(cache=cache, search_factory=lambda: ProofSearch(max_depth=depth))
+
+
+def _execute_job(name: str, options: Dict[str, object]) -> JobOutcome:
+    """Run one registry problem through a fresh pipeline (any process)."""
+    registry = default_registry()
+    start = time.perf_counter()
+    try:
+        entry = registry.get(name)
+    except KeyError as exc:
+        return JobOutcome(name, "error", time.perf_counter() - start, error=str(exc))
+    try:
+        # Everything after the name lookup is isolated: a failing cache dir,
+        # instance generator or synthesis stage becomes one "error" outcome.
+        pipeline = pipeline_for_entry(
+            entry,
+            cache_dir=options.get("cache_dir"),
+            max_depth=options.get("max_depth"),
+        )
+        scale = int(options.get("verify_scale") or 0)
+        assignments = None
+        if scale and entry.instances is not None:
+            assignments = entry.instances(scale)
+        report = pipeline.run(entry.problem(), assignments)
+    except Exception as exc:  # noqa: BLE001 - isolation is the whole point
+        return JobOutcome(
+            name,
+            "error",
+            time.perf_counter() - start,
+            expected=entry.expected,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    result = report.result
+    verification = report.verification
+    return JobOutcome(
+        name=name,
+        status="ok" if verification is None or verification.ok else "error",
+        seconds=time.perf_counter() - start,
+        expected=entry.expected,
+        cache_tier=report.cache_tier,
+        expression=str(result.expression),
+        expression_size=expr_size(result.expression),
+        proof_size=result.proof_size,
+        verified=None if verification is None else verification.ok,
+        error=None if verification is None or verification.ok else "verification mismatches",
+        stage_seconds={k: round(v, 6) for k, v in report.stage_seconds().items()},
+    )
+
+
+def _job_child(name: str, options: Dict[str, object], conn) -> None:
+    """Worker-process entry point: run the job, ship the outcome back."""
+    conn.send(_execute_job(name, options))
+    conn.close()
+
+
+# ------------------------------------------------------------------ the pool
+def run_sweep(
+    names: Optional[Sequence[str]] = None,
+    registry: Optional[ProblemRegistry] = None,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    max_depth: Optional[int] = None,
+    verify_scale: int = 0,
+) -> SweepSummary:
+    """Sweep ``names`` (default: every entry expected to synthesize) in parallel.
+
+    ``timeout`` is per job, in seconds; a job past its deadline is terminated
+    and recorded as ``"timeout"``.  Enforcing a deadline requires a killable
+    process, so any sweep with a timeout takes the one-process-per-job path
+    even for a single job; only timeout-less sweeps run inline.
+    ``verify_scale`` > 0 additionally runs the batched verification stage on
+    that many generated instances per problem (entries without an instance
+    builder skip verification).
+    """
+    registry = registry or default_registry()
+    if names is None:
+        names = [entry.name for entry in registry.sweepable()]
+    names = list(names)
+    options: Dict[str, object] = {
+        "cache_dir": cache_dir,
+        "max_depth": max_depth,
+        "verify_scale": verify_scale,
+    }
+    if processes is None:
+        processes = min(len(names), os.cpu_count() or 1) or 1
+    processes = max(1, min(processes, len(names) or 1))
+    start = time.perf_counter()
+
+    if timeout is None and (processes <= 1 or len(names) <= 1):
+        outcomes = [_execute_job(name, options) for name in names]
+        return SweepSummary(outcomes, time.perf_counter() - start, 1)
+
+    ctx = multiprocessing.get_context()
+    # Jobs are tracked by position, not name, so sweeping the same name twice
+    # keeps both outcomes.  pop() takes jobs in submission order.
+    pending = list(reversed(list(enumerate(names))))
+    running: Dict[object, tuple] = {}
+    outcomes_by_index: Dict[int, JobOutcome] = {}
+
+    def _drain(conn, grace: float = 0.5) -> Optional[JobOutcome]:
+        try:
+            if conn.poll(grace):
+                return conn.recv()
+        except (EOFError, OSError):
+            pass
+        return None
+
+    while pending or running:
+        while pending and len(running) < processes:
+            index, name = pending.pop()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(target=_job_child, args=(name, options, child_conn), daemon=True)
+            process.start()
+            child_conn.close()
+            deadline = None if timeout is None else time.monotonic() + timeout
+            running[process] = (index, name, parent_conn, deadline)
+
+        for process in list(running):
+            index, name, conn, deadline = running[process]
+            outcome: Optional[JobOutcome] = None
+            if conn.poll(0):
+                try:
+                    outcome = conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+                if outcome is None:
+                    outcome = JobOutcome(name, "error", 0.0, error="worker sent no outcome")
+            elif not process.is_alive():
+                # Exited without reporting: crashed hard (segfault, OOM kill).
+                outcome = _drain(conn) or JobOutcome(
+                    name,
+                    "error",
+                    0.0,
+                    expected=_expected_of(registry, name),
+                    error=f"worker died with exit code {process.exitcode}",
+                )
+            elif deadline is not None and time.monotonic() > deadline:
+                process.terminate()
+                outcome = JobOutcome(
+                    name,
+                    "timeout",
+                    timeout or 0.0,
+                    expected=_expected_of(registry, name),
+                    error=f"exceeded per-job timeout of {timeout:.1f}s",
+                )
+            if outcome is not None:
+                process.join()
+                conn.close()
+                del running[process]
+                outcomes_by_index[index] = outcome
+        time.sleep(0.01)
+
+    ordered = [outcomes_by_index[index] for index in range(len(names))]
+    return SweepSummary(ordered, time.perf_counter() - start, processes)
+
+
+def _expected_of(registry: ProblemRegistry, name: str) -> str:
+    try:
+        return registry.get(name).expected
+    except KeyError:
+        return EXPECTED_OK

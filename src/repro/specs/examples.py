@@ -16,17 +16,29 @@ synthesis pipeline:
 * :func:`pair_of_views`, :func:`unique_element` — non-set output types
   (product / Ur), exercising the Appendix G cases of Theorem 2.
 * :func:`copy_chain`      — a scaling family: a chain of ``n`` equivalences.
+
+Parametric scenario families (consumed by the service-layer problem registry,
+:mod:`repro.service.registry`) scale the flat determinacy patterns to wider
+specifications and come with instance-family builders for semantic
+verification sweeps:
+
+* :func:`multi_union_view` / :func:`multi_intersection_view` — ``O ≡ V1 ∪ … ∪
+  Vk`` and ``O ≡ V1 ∩ … ∩ Vk`` over ``k`` views;
+* :func:`pair_tower`      — a right-nested product output ``O ≡ <V1, <V2, …>>``
+  (recursive Appendix G products);
+* :func:`union_minus_view` — ``O ≡ (V1 ∪ V2) \\ V3``, mixing positive and
+  negative membership in the soundness conjunct.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Tuple
 
-from repro.logic.formulas import And, Exists, Forall, Formula, Top, conj
-from repro.logic.macros import equivalent, implies, member_hat
-from repro.logic.terms import Var, proj1, proj2
-from repro.nr.types import UR, prod, set_of
-from repro.nr.values import PairValue, SetValue, Value, pair, ur, vset
+from repro.logic.formulas import And, Exists, Forall, Formula, Top, conj, disj
+from repro.logic.macros import equivalent, implies, member_hat, not_member_hat
+from repro.logic.terms import Term, Var, proj1, proj2
+from repro.nr.types import UR, Type, prod, set_of
+from repro.nr.values import PairValue, SetValue, Value, pair, tuple_value, ur, vset
 from repro.specs.problems import ImplicitDefinitionProblem
 
 #: Types used by Examples 1.1 / 4.1.
@@ -172,6 +184,203 @@ def unique_element() -> ImplicitDefinitionProblem:
     z = Var("z", UR)
     phi = And(member_hat(out, view), Forall(z, view, _eq(z, out)))
     return ImplicitDefinitionProblem("unique_element", phi, (view,), out)
+
+
+# ------------------------------------------------------ parametric families
+def _view_vars(width: int) -> List[Var]:
+    if width < 2:
+        raise ValueError("scenario families need at least two views")
+    return [Var(f"V{i}", set_of(UR)) for i in range(1, width + 1)]
+
+
+def multi_union_view(width: int) -> ImplicitDefinitionProblem:
+    """``O ≡ V1 ∪ … ∪ V_width`` — the union family scaled to ``width`` views."""
+    views = _view_vars(width)
+    out = Var("O", set_of(UR))
+    z = Var("z", UR)
+    sound = Forall(z, out, disj([member_hat(z, view) for view in views]))
+    completes = [Forall(z, view, member_hat(z, out)) for view in views]
+    return ImplicitDefinitionProblem(
+        f"union_of_{width}_views", conj([sound] + completes), tuple(views), out
+    )
+
+
+def multi_intersection_view(width: int) -> ImplicitDefinitionProblem:
+    """``O ≡ V1 ∩ … ∩ V_width`` — the intersection family scaled to ``width``."""
+    views = _view_vars(width)
+    out = Var("O", set_of(UR))
+    z = Var("z", UR)
+    sound = Forall(z, out, conj([member_hat(z, view) for view in views]))
+    rest = conj([member_hat(z, view) for view in views[1:]])
+    complete = Forall(z, views[0], implies(rest, member_hat(z, out)))
+    return ImplicitDefinitionProblem(
+        f"intersection_of_{width}_views", And(sound, complete), tuple(views), out
+    )
+
+
+def pair_tower(width: int) -> ImplicitDefinitionProblem:
+    """``O ≡ <V1, <V2, …>>`` — a right-nested product of ``width`` views.
+
+    Exercises the recursive Appendix G product synthesis: each component is
+    re-synthesized against the specification with the sibling component as an
+    auxiliary, ``width - 1`` levels deep.
+    """
+    views = _view_vars(width)
+    out_typ: Type = set_of(UR)
+    for _ in range(width - 1):
+        out_typ = prod(set_of(UR), out_typ)
+    out = Var("O", out_typ)
+    conjuncts: List[Formula] = []
+    term: Term = out
+    for view in views[:-1]:
+        conjuncts.append(equivalent(proj1(term), view))
+        term = proj2(term)
+    conjuncts.append(equivalent(term, views[-1]))
+    return ImplicitDefinitionProblem(f"pair_tower_{width}", conj(conjuncts), tuple(views), out)
+
+
+def union_minus_view() -> ImplicitDefinitionProblem:
+    """``O ≡ (V1 ∪ V2) \\ V3`` — union and difference in one specification."""
+    v1, v2, v3 = _view_vars(3)
+    out = Var("O", set_of(UR))
+    z = Var("z", UR)
+    sound = Forall(
+        z,
+        out,
+        And(_or(member_hat(z, v1), member_hat(z, v2)), not_member_hat(z, v3)),
+    )
+    complete1 = Forall(z, v1, implies(not_member_hat(z, v3), member_hat(z, out)))
+    complete2 = Forall(z, v2, implies(not_member_hat(z, v3), member_hat(z, out)))
+    return ImplicitDefinitionProblem(
+        "union_minus_view", conj([sound, complete1, complete2]), (v1, v2, v3), out
+    )
+
+
+# ------------------------------------------- instance families for scenarios
+def _scenario_view_values(width: int, scale: int) -> List[List[SetValue]]:
+    """Per-row view values drawn from a small atom universe (heavy sharing).
+
+    Enumerated verification families deliberately reuse atoms across rows —
+    the regime the columnar interning layer (``nr/columns.py``) is built for.
+    """
+    rows = []
+    for index in range(scale):
+        row = []
+        for view_index in range(width):
+            size = (index + view_index) % 4
+            row.append(vset([ur((index * (view_index + 2) + j) % 7) for j in range(size)]))
+        rows.append(row)
+    return rows
+
+
+def multi_union_view_instances(width: int, scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`multi_union_view`."""
+    problem = multi_union_view(width)
+    assignments = []
+    for row in _scenario_view_values(width, scale):
+        union: frozenset = frozenset()
+        for value in row:
+            union |= value.elements
+        assignment = dict(zip(problem.inputs, row))
+        assignment[problem.output] = SetValue(union)
+        assignments.append(assignment)
+    return assignments
+
+
+def multi_intersection_view_instances(width: int, scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`multi_intersection_view`.
+
+    A shared core is unioned into every view so the intersections are
+    non-trivial on most rows.
+    """
+    problem = multi_intersection_view(width)
+    assignments = []
+    for index, row in enumerate(_scenario_view_values(width, scale)):
+        core = frozenset(ur(j) for j in range(index % 3))
+        row = [SetValue(value.elements | core) for value in row]
+        intersection = row[0].elements
+        for value in row[1:]:
+            intersection &= value.elements
+        assignment = dict(zip(problem.inputs, row))
+        assignment[problem.output] = SetValue(intersection)
+        assignments.append(assignment)
+    return assignments
+
+
+def pair_tower_instances(width: int, scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`pair_tower`."""
+    problem = pair_tower(width)
+    assignments = []
+    for row in _scenario_view_values(width, scale):
+        assignment = dict(zip(problem.inputs, row))
+        assignment[problem.output] = tuple_value(*row)
+        assignments.append(assignment)
+    return assignments
+
+
+def union_minus_view_instances(scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`union_minus_view`."""
+    problem = union_minus_view()
+    assignments = []
+    for row in _scenario_view_values(3, scale):
+        v1, v2, v3 = row
+        assignment = dict(zip(problem.inputs, row))
+        assignment[problem.output] = SetValue((v1.elements | v2.elements) - v3.elements)
+        assignments.append(assignment)
+    return assignments
+
+
+def identity_view_instances(scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`identity_view`."""
+    problem = identity_view()
+    assignments = []
+    for index in range(scale):
+        value = vset([ur(j % 6) for j in range(index % 5)])
+        assignments.append({problem.inputs[0]: value, problem.output: value})
+    return assignments
+
+
+def unique_element_instances(scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`unique_element`."""
+    problem = unique_element()
+    assignments = []
+    for index in range(scale):
+        atom = ur(index % 9)
+        assignments.append({problem.inputs[0]: vset([atom]), problem.output: atom})
+    return assignments
+
+
+def copy_chain_instances(length: int, scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`copy_chain`: all copies equal."""
+    problem = copy_chain(length)
+    assignments = []
+    for index in range(scale):
+        value = vset([ur(j % 7) for j in range(index % 4)])
+        assignment: Dict[Var, Value] = {problem.inputs[0]: value, problem.output: value}
+        for aux in problem.auxiliaries:
+            assignment[aux] = value
+        assignments.append(assignment)
+    return assignments
+
+
+def example_4_1_instances(scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`example_4_1` (growing rows)."""
+    return [
+        example_4_1_instance(
+            {f"k{k}": tuple(range(k, k + 1 + (index + k) % 2)) for k in range(1 + index % 3)}
+        )
+        for index in range(scale)
+    ]
+
+
+def example_1_1_instances(scale: int) -> List[Dict[Var, Value]]:
+    """``scale`` satisfying assignments of :func:`example_1_1`."""
+    return [
+        example_1_1_instance(
+            {f"k{k}": ((k, f"k{k}") if (index + k) % 2 else (k,)) for k in range(index % 4)}
+        )
+        for index in range(scale)
+    ]
 
 
 def copy_chain(length: int) -> ImplicitDefinitionProblem:

@@ -7,13 +7,18 @@
 * :mod:`repro.synthesis.verification`         — semantic validation helpers.
 """
 
-from repro.synthesis.implicit_to_explicit import SynthesisResult, synthesize
+from repro.synthesis.implicit_to_explicit import (
+    SynthesisResult,
+    find_determinacy_proof,
+    synthesize,
+)
 from repro.synthesis.collect_answers import collect_answers
 from repro.synthesis.view_rewriting import rewrite_query_over_views, view_rewriting_problem_to_implicit
 from repro.synthesis.verification import check_explicit_definition, check_view_rewriting
 
 __all__ = [
     "SynthesisResult",
+    "find_determinacy_proof",
     "synthesize",
     "collect_answers",
     "rewrite_query_over_views",

@@ -61,6 +61,27 @@ class SynthesisResult:
         return proof_size(self.proof)
 
 
+def find_determinacy_proof(
+    problem: ImplicitDefinitionProblem, search: Optional[ProofSearch] = None
+) -> ProofNode:
+    """Search for a focused proof of the problem's determinacy sequent.
+
+    Raises :class:`SynthesisError` when the bundled search exhausts its budget
+    — the paper leaves automated witness discovery open (Section 7), so hard
+    instances are expected to need hand-written proofs or a larger budget.
+    Exposed separately from :func:`synthesize` so orchestrators (the service
+    pipeline) can time and report proof search as its own stage.
+    """
+    search = search or ProofSearch()
+    try:
+        return search.prove(problem.determinacy_goal())
+    except ProofSearchError as exc:
+        raise SynthesisError(
+            f"no determinacy witness found for {problem.name!r}; "
+            "supply a proof explicitly or increase the search budget"
+        ) from exc
+
+
 def synthesize(
     problem: ImplicitDefinitionProblem,
     proof: Optional[ProofNode] = None,
@@ -74,14 +95,7 @@ def synthesize(
     omitted, the bundled proof search is used to find one.
     """
     if proof is None:
-        search = search or ProofSearch()
-        try:
-            proof = search.prove(problem.determinacy_goal())
-        except ProofSearchError as exc:
-            raise SynthesisError(
-                f"no determinacy witness found for {problem.name!r}; "
-                "supply a proof explicitly or increase the search budget"
-            ) from exc
+        proof = find_determinacy_proof(problem, search)
     if validate_proof:
         check_proof(proof)
         if proof.sequent != problem.determinacy_goal():

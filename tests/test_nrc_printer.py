@@ -1,0 +1,110 @@
+"""Pretty-printer coverage: every constructor, wide/narrow stability.
+
+There is no NRC parser, so "round-trip" means *token fidelity*: the
+multi-line rendering of an expression must contain exactly the same
+characters as the canonical compact form ``str(expr)``, differing only in
+whitespace.  That property makes ``pretty`` safe to use anywhere the compact
+form is (logs, cache sidecars, golden files) and pins the layout of every
+constructor.
+"""
+
+import pytest
+
+from repro.nr.types import UR, prod, set_of
+from repro.nrc.expr import (
+    NBigUnion,
+    NDiff,
+    NEmpty,
+    NGet,
+    NPair,
+    NProj,
+    NSingleton,
+    NUnion,
+    NUnit,
+    NVar,
+)
+from repro.nrc.printer import pretty
+
+X = NVar("x", UR)
+Y = NVar("y", UR)
+SRC = NVar("src", set_of(UR))
+PAIR_SRC = NVar("ps", set_of(prod(UR, UR)))
+
+#: One sample per constructor (leaves and composites).
+SAMPLES = {
+    "var": X,
+    "unit": NUnit(),
+    "empty": NEmpty(UR),
+    "pair": NPair(X, Y),
+    "proj1": NProj(1, NVar("p", prod(UR, UR))),
+    "proj2": NProj(2, NVar("p", prod(UR, UR))),
+    "singleton": NSingleton(X),
+    "get": NGet(SRC),
+    "union": NUnion(SRC, NVar("t", set_of(UR))),
+    "diff": NDiff(SRC, NVar("t", set_of(UR))),
+    "bigunion": NBigUnion(NSingleton(X), X, SRC),
+}
+
+
+def _strip_ws(text: str) -> str:
+    return "".join(text.split())
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_wide_rendering_is_the_compact_form(name):
+    expr = SAMPLES[name]
+    assert pretty(expr, max_width=10_000) == str(expr)
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_narrow_rendering_preserves_tokens(name):
+    expr = SAMPLES[name]
+    narrow = pretty(expr, max_width=0)
+    assert _strip_ws(narrow) == _strip_ws(str(expr))
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_rendering_is_deterministic(name):
+    expr = SAMPLES[name]
+    assert pretty(expr) == pretty(expr)
+    assert pretty(expr, max_width=0) == pretty(expr, max_width=0)
+
+
+def test_nested_composite_token_fidelity():
+    """A composite using every constructor at once stays token-faithful."""
+    inner = NBigUnion(
+        NSingleton(NPair(NProj(1, NVar("p", prod(UR, UR))), NGet(NSingleton(Y)))),
+        NVar("p", prod(UR, UR)),
+        PAIR_SRC,
+    )
+    expr = NDiff(NUnion(inner, NEmpty(prod(UR, UR))), NSingleton(NPair(X, NUnit())))
+    for width in (0, 10, 24, 72, 10_000):
+        assert _strip_ws(pretty(expr, max_width=width)) == _strip_ws(str(expr))
+
+
+def test_narrow_rendering_indents_by_depth():
+    expr = NUnion(NSingleton(X), NSingleton(Y))
+    lines = pretty(expr, max_width=0).splitlines()
+    assert lines[0] == "("
+    assert any(line.startswith("  ") for line in lines)
+
+
+def test_deep_chain_renders_without_blowup():
+    expr = SRC
+    for _ in range(60):
+        expr = NUnion(expr, NEmpty(UR))
+    text = pretty(expr, max_width=40)
+    assert _strip_ws(text) == _strip_ws(str(expr))
+
+
+def test_synthesized_definition_roundtrips():
+    """pretty() of a real synthesizer output is token-identical to str()."""
+    from repro.proofs.search import ProofSearch
+    from repro.specs import examples
+    from repro.synthesis import synthesize
+
+    result = synthesize(examples.union_view(), search=ProofSearch(max_depth=12))
+    expr = result.expression
+    assert _strip_ws(pretty(expr)) == _strip_ws(str(expr))
+    raw = result.raw_expression
+    assert _strip_ws(pretty(raw, max_width=30)) == _strip_ws(str(raw))

@@ -1,0 +1,214 @@
+"""Service cache: content addressing, LRU tier, disk tier, memory bounds."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.interning import (
+    clear_intern_cache,
+    intern,
+    intern_cache_stats,
+    set_intern_table_limit,
+)
+from repro.logic.terms import Var
+from repro.nr.types import UR, set_of
+from repro.nr.values import ur, vset
+from repro.nrc.eval import eval_nrc
+from repro.proofs.search import ProofSearch
+from repro.service.cache import (
+    SynthesisCache,
+    disk_entries,
+    spec_digest,
+    spec_key,
+)
+from repro.specs import examples
+from repro.synthesis import synthesize
+
+SEARCH = dict(max_depth=12)
+
+
+def _result(problem):
+    return synthesize(problem, search=ProofSearch(**SEARCH))
+
+
+def test_spec_key_ignores_problem_name():
+    first = examples.union_view()
+    renamed = type(first)("another_name", first.phi, first.inputs, first.output, first.auxiliaries)
+    assert spec_key(first) == spec_key(renamed)
+    assert spec_digest(first) == spec_digest(renamed)
+
+
+def test_spec_digest_distinguishes_structures():
+    digests = {
+        spec_digest(examples.union_view()),
+        spec_digest(examples.intersection_view()),
+        spec_digest(examples.identity_view()),
+        spec_digest(examples.multi_union_view(3)),
+    }
+    assert len(digests) == 4
+
+
+def test_structurally_equal_problems_share_entries():
+    """pair_of_views and pair_tower(2) state the same specification."""
+    assert spec_digest(examples.pair_of_views()) == spec_digest(examples.pair_tower(2))
+
+
+def test_memory_tier_hit_and_stats():
+    cache = SynthesisCache(capacity=4)
+    problem = examples.union_view()
+    assert cache.get(problem) is None
+    assert cache.stats.misses == 1
+    result = _result(problem)
+    cache.store(problem, result)
+    found, tier = cache.lookup(problem)
+    assert found is result and tier == "memory"
+    assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+
+def test_lru_eviction_order():
+    cache = SynthesisCache(capacity=2)
+    problems = [examples.identity_view(), examples.union_view(), examples.intersection_view()]
+    results = [_result(p) for p in problems]
+    cache.store(problems[0], results[0])
+    cache.store(problems[1], results[1])
+    # Touch the oldest so the middle entry becomes the eviction victim.
+    assert cache.get(problems[0]) is results[0]
+    cache.store(problems[2], results[2])
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.get(problems[1]) is None
+    assert cache.get(problems[0]) is results[0]
+    assert cache.get(problems[2]) is results[2]
+
+
+def test_disk_tier_roundtrip_across_instances(tmp_path):
+    problem = examples.union_view()
+    result = _result(problem)
+    writer = SynthesisCache(disk_dir=tmp_path)
+    writer.store(problem, result)
+
+    # A fresh cache (fresh process in production) hits the persistent tier.
+    reader = SynthesisCache(disk_dir=tmp_path)
+    loaded, tier = reader.lookup(problem)
+    assert tier == "disk"
+    assert loaded.expression == result.expression
+    assert loaded.proof.sequent == result.proof.sequent
+
+    # The recalled definition still evaluates correctly.
+    v1, v2 = problem.nrc_input_vars()
+    value = eval_nrc(loaded.expression, {v1: vset([ur(1)]), v2: vset([ur(2), ur(3)])})
+    assert value == vset([ur(1), ur(2), ur(3)])
+
+    # Second lookup on the same instance is a memory hit (disk promoted).
+    _, tier = reader.lookup(problem)
+    assert tier == "memory"
+
+
+def test_disk_entries_metadata(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    digest = cache.store(problem, _result(problem))
+    entries = disk_entries(tmp_path)
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry.digest == digest
+    assert entry.name == "union_view"
+    assert entry.proof_size > 0 and entry.payload_bytes > 0
+    # The sidecar is valid standalone JSON.
+    raw = json.loads((tmp_path / f"{digest}.json").read_text())
+    assert raw["name"] == "union_view"
+
+
+def test_stale_tmp_files_are_reaped_on_open(tmp_path):
+    import os
+    import time
+
+    stale = tmp_path / "deadbeef.pkl_x.tmp"
+    stale.write_bytes(b"orphaned by a terminated worker")
+    old = time.time() - SynthesisCache.STALE_TMP_SECONDS - 60
+    os.utime(stale, (old, old))
+    fresh = tmp_path / "cafe.pkl_y.tmp"
+    fresh.write_bytes(b"a write in flight right now")
+    SynthesisCache(disk_dir=tmp_path)
+    assert not stale.exists()
+    assert fresh.exists()
+
+
+def test_corrupt_disk_entry_reads_as_miss(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    digest = cache.store(problem, _result(problem))
+    (tmp_path / f"{digest}.pkl").write_bytes(b"not a pickle")
+    fresh = SynthesisCache(disk_dir=tmp_path)
+    loaded, tier = fresh.lookup(problem)
+    assert loaded is None and tier == "miss"
+    # The corrupt entry was evicted from disk.
+    assert not (tmp_path / f"{digest}.pkl").exists()
+
+
+def test_pickled_results_carry_no_process_local_caches():
+    problem = examples.union_view()
+    result = _result(problem)
+    v1, v2 = problem.nrc_input_vars()
+    eval_nrc(result.expression, {v1: vset([ur(1)]), v2: vset([ur(2)])})  # attach _runner
+    blob = pickle.dumps(result)
+    loaded = pickle.loads(blob)
+    assert loaded.expression == result.expression
+    for attr in ("_runner", "_chash", "_fv", "_typ"):
+        assert attr not in loaded.expression.__dict__
+    # Hashing works in this process after the round-trip.
+    assert hash(loaded.expression) == hash(result.expression)
+
+
+def test_maintain_bounds_intern_table():
+    previous = set_intern_table_limit(None)
+    try:
+        clear_intern_cache()
+        cache = SynthesisCache(intern_table_bound=8, interner_id_bound=10**9)
+        for index in range(32):
+            intern(Var(f"bounded_{index}", set_of(UR)))
+        before = intern_cache_stats()["nodes"]
+        assert before > 8
+        cache.maintain()
+        assert intern_cache_stats()["nodes"] == 0
+        assert cache.stats.intern_table_clears == 1
+    finally:
+        set_intern_table_limit(previous)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        SynthesisCache(capacity=0)
+
+
+def test_value_interner_stats_and_memo_clearing():
+    from repro.nr.columns import ValueInterner
+
+    interner = ValueInterner()
+    a = interner.intern(vset([ur(1), ur(2)]))
+    b = interner.intern(vset([ur(2), ur(3)]))
+    interner.union_id(a, b)
+    stats = interner.stats()
+    assert stats["union_cache"] == 1 and stats["ids"] > 0
+    interner.clear_memo_caches()
+    assert interner.stats()["union_cache"] == 0
+    # Ids survive a memo clear.
+    assert interner.extern(a) == vset([ur(1), ur(2)])
+
+
+def test_shared_interner_bounding_hooks():
+    from repro.nr import columns
+
+    previous = columns.set_shared_interner_max_ids(10)
+    try:
+        columns.reset_shared_interner()
+        interner = columns.shared_interner()
+        for index in range(50):
+            interner.intern(ur(f"atom_{index}"))
+        rotated = columns.shared_interner()
+        assert rotated is not interner
+        assert columns.shared_interner_stats()["max_ids"] == 10
+    finally:
+        columns.set_shared_interner_max_ids(previous)
+        columns.reset_shared_interner()

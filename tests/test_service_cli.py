@@ -1,0 +1,150 @@
+"""The ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.service.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list_shows_registry(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "union_view" in out and "pair_tower_2" in out
+    assert "known-xfail" in out
+
+
+def test_list_tag_filter_and_json(capsys):
+    code, out, _ = run_cli(capsys, "list", "--tag", "family:union", "--json")
+    assert code == 0
+    entries = json.loads(out)
+    assert {entry["name"] for entry in entries} == {
+        "union_of_3_views",
+        "union_of_4_views",
+        "union_of_5_views",
+    }
+    assert all("description" in entry for entry in entries)
+
+
+def test_synthesize_text_output(capsys):
+    code, out, _ = run_cli(capsys, "synthesize", "union_view")
+    assert code == 0
+    assert "proof-search" in out and "synthesized definition" in out
+    assert "cache: miss" in out
+
+
+def test_synthesize_json_with_verification(capsys):
+    code, out, _ = run_cli(capsys, "synthesize", "union_view", "--verify-scale", "8", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["problem"] == "union_view"
+    assert payload["verification"]["ok"] is True
+    assert payload["expression"].startswith("U{")
+    stage_names = [stage["name"] for stage in payload["stages"]]
+    assert "proof-search" in stage_names and "verification" in stage_names
+
+
+def test_synthesize_with_cache_dir_roundtrip(capsys, tmp_path):
+    code, _, _ = run_cli(capsys, "synthesize", "union_view", "--cache-dir", str(tmp_path))
+    assert code == 0
+    code, out, _ = run_cli(
+        capsys, "synthesize", "union_view", "--cache-dir", str(tmp_path), "--json"
+    )
+    assert code == 0
+    assert json.loads(out)["cache_tier"] == "disk"
+
+
+def test_verify_subcommand(capsys):
+    code, out, _ = run_cli(capsys, "verify", "union_of_3_views", "--scale", "10", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["verification"] == {"checked": 10, "satisfying": 10, "ok": True}
+
+
+def test_verify_rejects_degenerate_scale(capsys):
+    code, _, err = run_cli(capsys, "verify", "union_view", "--scale", "0")
+    assert code == 2
+    assert "at least 1" in err
+
+
+def test_verify_without_instances_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "verify", "selection_view")
+    assert code == 2
+    assert "no instance generator" in err
+
+
+def test_unknown_problem_is_a_clean_error(capsys):
+    code, _, err = run_cli(capsys, "synthesize", "not_a_problem")
+    assert code == 2
+    assert "unknown problem" in err
+
+
+def test_known_xfail_synthesis_is_a_clean_error(capsys):
+    # selection_view hits the known interpolation limitation: the CLI must
+    # print a one-line error naming the registry expectation, not a traceback.
+    code, _, err = run_cli(capsys, "synthesize", "selection_view")
+    assert code == 1
+    assert "InterpolationError" in err
+    assert "'xfail'" in err
+
+
+def test_sweep_inline_subset(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "identity_view", "unique_element", "--processes", "1", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True
+    assert [job["name"] for job in payload["jobs"]] == ["identity_view", "unique_element"]
+
+
+def test_sweep_reports_expected_failures_without_failing(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "identity_view", "selection_view", "--processes", "1"
+    )
+    assert code == 0
+    assert "(expected)" in out
+
+
+def test_cache_stats_empty_and_populated(capsys, tmp_path):
+    code, out, _ = run_cli(capsys, "cache-stats", "--cache-dir", str(tmp_path))
+    assert code == 0 and "empty cache" in out
+
+    run_cli(capsys, "synthesize", "union_view", "--cache-dir", str(tmp_path))
+    code, out, _ = run_cli(capsys, "cache-stats", "--cache-dir", str(tmp_path), "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert len(payload["entries"]) == 1
+    assert payload["entries"][0]["name"] == "union_view"
+    assert payload["total_payload_bytes"] > 0
+
+
+def test_cache_stats_without_dir_shows_process_telemetry(capsys):
+    code, out, _ = run_cli(capsys, "cache-stats")
+    assert code == 0
+    assert "intern_table" in out and "shared_value_interner" in out
+
+    code, out, _ = run_cli(capsys, "cache-stats", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert "nodes" in payload["process"]["intern_table"]
+    assert "ids" in payload["process"]["shared_value_interner"]
+
+
+def test_cache_dir_pointing_at_a_file_is_a_clean_error(capsys, tmp_path):
+    target = tmp_path / "not_a_dir"
+    target.write_text("occupied")
+    code, _, err = run_cli(capsys, "synthesize", "union_view", "--cache-dir", str(target))
+    assert code == 2
+    assert "cannot use cache dir" in err
+
+
+def test_parser_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -7,23 +7,32 @@ non-extensional ("every model") semantics lives in
 :mod:`repro.logic.general_models`.
 
 Satisfying-assignment enumeration over whole families goes through the
-batched path: :func:`eval_formula_batch` evaluates a formula over a *column*
-of assignments at once on the interned-id substrate of
-:mod:`repro.nr.columns` (equality and membership become integer comparisons
-and binary searches; quantifiers expand rows the way the batched NRC
-evaluator expands ``NBigUnion``), and :func:`satisfying_assignments` filters
-a family with it.  The batched path requires **well-typed** formulas (as
-enforced by :func:`repro.logic.typecheck.check_formula`): unlike
-:func:`eval_formula` it does not short-circuit connectives row by row, so an
-ill-typed subformula that per-row evaluation would have skipped still gets
-evaluated.
+batched path: :func:`eval_formula_batch` runs the formula *compiler*
+(:mod:`repro.logic.compile`) over a **column** of assignments at once on the
+interned-id substrate of :mod:`repro.nr.columns` (equality and membership
+become integer comparisons and binary searches; quantifiers expand rows the
+way the batched NRC evaluator expands ``NBigUnion``; ``And``/``Or``
+short-circuit through selection masks, matching :func:`eval_formula`'s
+row-by-row laziness), and :func:`satisfying_assignments` filters a family
+with it, returning a zero-copy :class:`SatisfyingView`.  The batched path
+requires **well-typed** formulas (as enforced by
+:func:`repro.logic.typecheck.check_formula`).
+
+Three batch backends are registered in :data:`BATCH_EVALUATORS` — the
+compiler's generated-source and interpreter backends plus the legacy
+per-node batcher (:func:`eval_formula_batch_nodes`, kept as the speed
+baseline recorded in ``BENCH_formula_compile.json``).  The per-assignment
+:func:`eval_formula` is the differential oracle for all of them; the
+conformance suite (``tests/test_formula_compile.py``) enumerates the
+registry, so a new backend that is not differentially tested fails loudly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import EvaluationError
+from repro.logic.compile import compile_formula
 from repro.logic.formulas import (
     And,
     Bottom,
@@ -115,6 +124,13 @@ def models(env: Assignment, *formulas: Formula) -> bool:
 # =====================================================================
 # Batched (columnar) evaluation over assignment families
 # =====================================================================
+#
+# The default batched path compiles the formula once (repro.logic.compile)
+# and runs the cached column program.  The per-node batcher below is the PR 2
+# implementation, kept verbatim as ``eval_formula_batch_nodes``: it is the
+# baseline the compiler's speedup is measured against and a second reference
+# implementation in the conformance registry.  Unlike the compiled backends
+# it does not short-circuit connectives row by row.
 
 
 def _unbound_var(var: Var) -> None:
@@ -206,18 +222,18 @@ def _formula_column(
     raise EvaluationError(f"unknown formula {formula!r}")
 
 
-def eval_formula_batch(
+def eval_formula_batch_nodes(
     formula: Formula,
     assignments: Sequence[Assignment],
     interner: Optional[ValueInterner] = None,
 ) -> List[bool]:
-    """Evaluate a **well-typed** Δ0 formula over a family of assignments.
+    """The PR 2 per-node batcher (reference backend and speed baseline).
 
-    Returns one Boolean per assignment, in order; agrees with mapping
-    :func:`eval_formula` over the family (the per-assignment evaluator is the
-    differential oracle).  Quantifiers expand the family by one row per
-    (assignment, bound element) and reduce back with ``all``/``any`` per
-    segment; all per-row work happens on interned ids.
+    Walks the formula AST once per node per call, gathering columns through
+    the quantifier rowmaps; no program caching, no row deduplication, no
+    connective short-circuiting.  Kept as the denominator of the
+    ``BENCH_formula_compile.json`` speedup ratios and as an independent
+    implementation in the conformance registry.
     """
     assignments = list(assignments)
     if interner is None:
@@ -226,12 +242,120 @@ def eval_formula_batch(
     return _formula_column(formula, None, base, interner, len(assignments))
 
 
+def eval_formula_batch(
+    formula: Formula,
+    assignments: Sequence[Assignment],
+    interner: Optional[ValueInterner] = None,
+    backend: Optional[str] = None,
+) -> List[bool]:
+    """Evaluate a **well-typed** Δ0 formula over a family of assignments.
+
+    Returns one Boolean per assignment, in order; agrees with mapping
+    :func:`eval_formula` over the family (the per-assignment evaluator is the
+    differential oracle).  The formula is compiled once to a straight-line
+    column program (cached on the hash-consed node — see
+    :mod:`repro.logic.compile`); quantifiers expand the family by one row per
+    (assignment, bound element) and reduce back with one generated loop per
+    quantifier, duplicate assignment rows are evaluated once, and rows seen
+    in earlier calls are answered from the program's memo.
+
+    ``backend`` forces ``"codegen"`` or ``"interp"`` (``None`` auto-selects;
+    deep nesting falls back to the interpreter).
+    """
+    assignments = list(assignments)
+    if interner is None:
+        interner = shared_interner()
+    return compile_formula(formula, backend=backend).eval_mask(assignments, interner)
+
+
+class SatisfyingView(Sequence):
+    """The satisfying sub-family of an assignment family, as a zero-copy view.
+
+    Indexing/iteration yields the satisfying :class:`Assignment` mappings of
+    the underlying family **without copying them**; ``mask`` holds one
+    Boolean per *original* row and ``indices`` the original positions of the
+    satisfying rows, so columnar consumers (fused verification) can keep
+    working positionally.  Compares equal to any sequence of the satisfying
+    assignments, so existing list-shaped callers keep working.
+    """
+
+    __slots__ = ("family", "mask", "_indices")
+
+    def __init__(self, family: Sequence[Assignment], mask: Sequence[bool]) -> None:
+        self.family = family
+        self.mask = mask
+        self._indices: Optional[List[int]] = None
+
+    @property
+    def indices(self) -> List[int]:
+        """Original row positions of the satisfying assignments (cached)."""
+        if self._indices is None:
+            self._indices = [row for row, ok in enumerate(self.mask) if ok]
+        return self._indices
+
+    @property
+    def total(self) -> int:
+        """Size of the underlying family (satisfying and not)."""
+        return len(self.family)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [self.family[row] for row in self.indices[item]]
+        return self.family[self.indices[item]]
+
+    def __iter__(self):
+        family = self.family
+        return (family[row] for row in self.indices)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SatisfyingView):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # views are positionally mutable-adjacent; not hashable
+
+    def __repr__(self) -> str:
+        return f"SatisfyingView({len(self)}/{self.total} rows)"
+
+
 def satisfying_assignments(
     formula: Formula,
     assignments: Sequence[Assignment],
     interner: Optional[ValueInterner] = None,
-) -> List[Assignment]:
-    """The sub-family of assignments satisfying ``formula`` (batched)."""
+    backend: Optional[str] = None,
+) -> SatisfyingView:
+    """The satisfying sub-family of ``assignments`` as a :class:`SatisfyingView`.
+
+    Filter-then-evaluate consumers (``synthesis/verification.py``) read the
+    view's ``mask``/``indices`` directly instead of materializing copied
+    assignment dicts; iterating the view yields the satisfying assignments in
+    order, so it still behaves like the list this function used to return.
+    """
     assignments = list(assignments)
-    mask = eval_formula_batch(formula, assignments, interner)
-    return [assignment for assignment, ok in zip(assignments, mask) if ok]
+    mask = eval_formula_batch(formula, assignments, interner, backend=backend)
+    return SatisfyingView(assignments, mask)
+
+
+def _batch_codegen(formula, assignments, interner=None):
+    return eval_formula_batch(formula, assignments, interner, backend="codegen")
+
+
+def _batch_interp(formula, assignments, interner=None):
+    return eval_formula_batch(formula, assignments, interner, backend="interp")
+
+
+#: Every batched evaluator backend, by name.  The conformance suite
+#: (``tests/test_formula_compile.py``) parametrizes its differential tests
+#: over this registry **and** asserts every ``eval_formula_batch*`` function
+#: in this module is registered — adding a backend without wiring it into the
+#: differential tests fails loudly.
+BATCH_EVALUATORS: Dict[str, Callable[..., List[bool]]] = {
+    "codegen": _batch_codegen,
+    "interp": _batch_interp,
+    "nodes": eval_formula_batch_nodes,
+}

@@ -151,6 +151,9 @@ class ValueInterner:
         "unit_id",
         "empty_set_id",
         "true_id",
+        # Weak-referenceable so row-memo holders (FormulaProgram) can key
+        # their caches on an interner without pinning a rotated-out instance.
+        "__weakref__",
     )
 
     def __init__(self) -> None:
@@ -537,21 +540,27 @@ class ValueInterner:
 
 
 class BatchFrame:
-    """One binder/quantifier level of a batched evaluation.
+    """One binder/quantifier/selection level of a batched evaluation.
 
     ``var`` is the bound variable (an ``NVar`` for the NRC backend, a logic
     ``Var`` for the formula backend), ``column`` holds its ids for the
     current (expanded) rows, ``rowmap[j]`` is the parent-level row expanded
-    row ``j`` came from, and ``parent`` is the enclosing frame (``None`` at
-    the base level).  Shared by :mod:`repro.nrc.eval` and
-    :mod:`repro.logic.semantics` so the rowmap-gather machinery has exactly
-    one implementation.
+    row ``j`` came from (``None`` = identity), and ``parent`` is the
+    enclosing frame (``None`` at the base level).  *Selection* frames —
+    produced by the formula compiler's short-circuit connectives — bind no
+    variable (``var``/``column`` of ``None``) and contribute only their
+    rowmap.  Shared by :mod:`repro.nrc.eval` and :mod:`repro.logic.compile`
+    so the rowmap-gather machinery has exactly one implementation.
     """
 
     __slots__ = ("var", "column", "rowmap", "parent")
 
     def __init__(
-        self, var, column: List[int], rowmap: List[int], parent: Optional["BatchFrame"]
+        self,
+        var,
+        column: Optional[List[int]],
+        rowmap: Optional[List[int]],
+        parent: Optional["BatchFrame"],
     ) -> None:
         self.var = var
         self.column = column
@@ -564,9 +573,78 @@ def gather_column(column: List[int], rowmap: Optional[List[int]]) -> List[int]:
     return column if rowmap is None else [column[i] for i in rowmap]
 
 
-def compose_rowmap(rowmap: Optional[List[int]], step: List[int]) -> List[int]:
-    """Extend a current-rows→ancestor-rows map by one more frame's ``step``."""
+def compose_rowmap(rowmap: Optional[List[int]], step: Optional[List[int]]) -> Optional[List[int]]:
+    """Extend a current-rows→ancestor-rows map by one more frame's ``step``.
+
+    ``None`` is the identity on either side: frames whose row set equals the
+    parent's (e.g. a short-circuit selection that kept every row) carry a
+    ``None`` rowmap and compose away for free.
+    """
+    if step is None:
+        return rowmap
     return step if rowmap is None else [step[i] for i in rowmap]
+
+
+def dedup_rows(keys: Iterable[Tuple]) -> Optional[Tuple[List[int], List[int]]]:
+    """Group equal row keys: ``(keep, scatter)``, or ``None`` if all distinct.
+
+    ``keep`` lists the first-occurrence row of each distinct key in order and
+    ``scatter[row]`` is the index into ``keep`` for every original row, so a
+    batch evaluated over the kept rows expands back with
+    ``[results[index] for index in scatter]``.  The one implementation of the
+    duplicate-row prepass shared by the NRC env and id-column batch entry
+    points (the formula programs' row memo subsumes it: their pending-row
+    grouping is the same dedup fused with memo lookups).
+    """
+    index_of: Dict[Tuple, int] = {}
+    keep: List[int] = []
+    scatter: List[int] = []
+    for row, key in enumerate(keys):
+        index = index_of.get(key)
+        if index is None:
+            index = len(keep)
+            index_of[key] = index
+            keep.append(row)
+        scatter.append(index)
+    if len(keep) == len(scatter):
+        return None
+    return keep, scatter
+
+
+def gather_binder_column(frame: Optional["BatchFrame"], hops: int) -> List[int]:
+    """The binder column ``hops`` frames up, aligned to the current rows.
+
+    Crossing a frame applies its rowmap; the target frame's own column is
+    gathered through the composed map.  Selection frames (``var``/``column``
+    of ``None``) are counted like binder frames — they contribute only their
+    rowmap.  Shared by the batched NRC backend and the formula compiler.
+    """
+    rowmap: Optional[List[int]] = None
+    for _ in range(hops):
+        rowmap = compose_rowmap(rowmap, frame.rowmap)
+        frame = frame.parent
+    return gather_column(frame.column, rowmap)
+
+
+def gather_base_column(
+    frame: Optional["BatchFrame"], hops: int, base, var, nrows: int
+) -> List[int]:
+    """A free variable's base column, aligned to the current rows.
+
+    ``hops`` is the number of frames between the current rows and the base
+    level.  Gathering goes through the base's :meth:`LazyColumns.gather`,
+    which only interns (and only checks boundness of) the base rows the
+    composed rowmap references — so a variable under a binder is demanded
+    exactly for the rows whose source sets are non-empty, matching the
+    per-environment evaluators' lazy lookup row for row.
+    """
+    if nrows == 0:
+        return []
+    rowmap: Optional[List[int]] = None
+    for _ in range(hops):
+        rowmap = compose_rowmap(rowmap, frame.rowmap)
+        frame = frame.parent
+    return base.gather(var, rowmap)
 
 
 class LazyColumns:
@@ -661,6 +739,35 @@ class LazyColumns:
 
 
 _MISSING = object()
+
+
+class FixedColumns:
+    """Base columns supplied directly as interned ids (no value interning).
+
+    Duck-types the ``column``/``gather`` surface of :class:`LazyColumns` for
+    callers that already hold id columns — e.g. feeding view outputs straight
+    back in as a rewriting's inputs, or replaying deduplicated assignment
+    rows through a compiled formula program, without externing the ids to
+    values first.  ``unbound(var)`` is called (and must raise) when a column
+    is missing entirely; per-row laziness does not apply — fixed columns are
+    total by construction.
+    """
+
+    __slots__ = ("_columns", "_unbound")
+
+    def __init__(self, columns: Mapping, unbound: Callable[[object], None]) -> None:
+        self._columns = columns
+        self._unbound = unbound
+
+    def column(self, var) -> List[int]:
+        column = self._columns.get(var)
+        if column is None:
+            self._unbound(var)
+        return column
+
+    def gather(self, var, rowmap: Optional[List[int]]) -> List[int]:
+        return gather_column(self.column(var), rowmap)
+
 
 #: Rotation threshold for the shared interner: once it holds this many ids it
 #: is replaced by a fresh one, bounding memory in long-running processes.

@@ -35,10 +35,12 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import EvaluationError
 from repro.nr.columns import (
     BatchFrame,
+    FixedColumns,
     LazyColumns,
     ValueInterner,
-    compose_rowmap,
-    gather_column,
+    dedup_rows,
+    gather_base_column,
+    gather_binder_column,
     shared_interner,
 )
 from repro.nr.types import SetType
@@ -485,35 +487,6 @@ def _run(program: List[_Instr], env) -> Value:
 # once per node per environment.
 
 
-def _gather_fast(frame: Optional[BatchFrame], hops: int) -> List[int]:
-    """The binder column ``hops`` levels up, aligned to the current rows."""
-    rowmap: Optional[List[int]] = None
-    for _ in range(hops):
-        rowmap = compose_rowmap(rowmap, frame.rowmap)
-        frame = frame.parent
-    return gather_column(frame.column, rowmap)
-
-
-def _gather_global(
-    frame: Optional[BatchFrame], hops: int, base: LazyColumns, var: NVar, nrows: int
-) -> List[int]:
-    """A free variable's base column, aligned to the current rows.
-
-    Gathering goes through :meth:`LazyColumns.gather`, which only interns
-    (and only checks boundness of) the base rows the composed rowmap
-    references — so an unbound variable under a binder is demanded exactly
-    for the rows whose source sets are non-empty, matching the
-    per-environment evaluator's lazy lookup row for row.
-    """
-    if nrows == 0:
-        return []
-    rowmap: Optional[List[int]] = None
-    for _ in range(hops):
-        rowmap = compose_rowmap(rowmap, frame.rowmap)
-        frame = frame.parent
-    return base.gather(var, rowmap)
-
-
 def _run_batch(
     program: List[_Instr],
     frame: Optional[BatchFrame],
@@ -526,10 +499,10 @@ def _run_batch(
     pop = stack.pop
     for op, arg in program:
         if op == _LOADFAST:
-            push(_gather_fast(frame, arg))
+            push(gather_binder_column(frame, arg))
         elif op == _LOADGLOBAL:
             var, hops = arg
-            push(_gather_global(frame, hops, base, var, nrows))
+            push(gather_base_column(frame, hops, base, var, nrows))
         elif op == _PAIR:
             right = pop()
             push(interner.pair_column(pop(), right))
@@ -641,29 +614,6 @@ def eval_nrc(expr: NRCExpr, env: NRCEnv) -> Value:
     return runner(env)
 
 
-class _FixedColumns:
-    """Base columns supplied directly as interned ids (no value interning).
-
-    Duck-types the ``column``/``gather`` surface of :class:`LazyColumns` for
-    callers that already hold id columns — e.g. feeding view outputs straight
-    back in as the rewriting's inputs without externing them to values first.
-    """
-
-    __slots__ = ("_columns",)
-
-    def __init__(self, columns: Mapping[NVar, List[int]]) -> None:
-        self._columns = columns
-
-    def column(self, var: NVar) -> List[int]:
-        column = self._columns.get(var)
-        if column is None:
-            _unbound(var)
-        return column
-
-    def gather(self, var: NVar, rowmap: Optional[List[int]]) -> List[int]:
-        return gather_column(self.column(var), rowmap)
-
-
 def eval_nrc_batch_columns(
     expr: NRCExpr, columns: Mapping[NVar, List[int]], nrows: int, interner: ValueInterner
 ) -> List[int]:
@@ -671,10 +621,28 @@ def eval_nrc_batch_columns(
 
     All columns must have ``nrows`` entries of ids from ``interner``.  This
     is the zero-copy composition primitive: one batch's output ids can be
-    the next batch's input columns.
+    the next batch's input columns (view rewritings) and a formula-filtered
+    assignment family's input ids can feed the candidate expression without
+    ever rebuilding environment dicts (fused verification).
+
+    Duplicate rows are evaluated once: because the inputs are already ids,
+    the dedup prepass is a plain tuple-key grouping over the free-variable
+    columns with results scattered back in order.  A free variable with no
+    column at all skips the dedup so the unbound error still surfaces from
+    inside evaluation, exactly as before.
     """
-    program, _globals = _batch_program(expr)
-    return _run_batch(program, None, _FixedColumns(columns), interner, nrows)
+    program, global_vars = _batch_program(expr)
+    if nrows > 1 and all(var in columns for var in global_vars):
+        key_columns = [columns[var] for var in global_vars]
+        grouped = dedup_rows(zip(*key_columns) if key_columns else [()] * nrows)
+        if grouped is not None:
+            keep, scatter = grouped
+            unique = FixedColumns(
+                {var: [columns[var][row] for row in keep] for var in global_vars}, _unbound
+            )
+            results = _run_batch(program, None, unique, interner, len(keep))
+            return [results[index] for index in scatter]
+    return _run_batch(program, None, FixedColumns(columns, _unbound), interner, nrows)
 
 
 def eval_nrc_batch_ids(
@@ -699,20 +667,13 @@ def eval_nrc_batch_ids(
     nrows = len(envs)
     if nrows > 1 and all(var in env for var in global_vars for env in envs):
         intern = interner.intern
-        index_of: dict = {}
-        unique_envs: List[NRCEnv] = []
-        scatter: List[int] = []
-        for env in envs:
-            key = tuple(intern(env[var]) for var in global_vars)
-            index = index_of.get(key)
-            if index is None:
-                index = len(unique_envs)
-                index_of[key] = index
-                unique_envs.append(env)
-            scatter.append(index)
-        if len(unique_envs) < nrows:
-            base = LazyColumns(unique_envs, interner, _unbound)
-            results = _run_batch(program, None, base, interner, len(unique_envs))
+        grouped = dedup_rows(
+            tuple(intern(env[var]) for var in global_vars) for env in envs
+        )
+        if grouped is not None:
+            keep, scatter = grouped
+            base = LazyColumns([envs[row] for row in keep], interner, _unbound)
+            results = _run_batch(program, None, base, interner, len(keep))
             return [results[index] for index in scatter]
     base = LazyColumns(envs, interner, _unbound)
     return _run_batch(program, None, base, interner, nrows)

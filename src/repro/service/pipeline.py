@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.interning import intern, intern_table_size
+from repro.logic.compile import compile_formula
 from repro.logic.formulas import formula_size
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import Var
@@ -194,6 +195,10 @@ class SynthesisPipeline:
         # -------- verification (runs on hits too: instances may be new).
         if assignments is not None:
             start = time.perf_counter()
+            phi_program = compile_formula(problem.phi)
+            rows_before = phi_program.stats["rows"]
+            run_before = phi_program.stats["rows_run"]
+            hits_before = phi_program.stats["row_hits"]
             verification = check_explicit_definition(problem, result.expression, list(assignments))
             report.verification = verification
             stages.append(
@@ -204,6 +209,10 @@ class SynthesisPipeline:
                         "checked": verification.checked,
                         "satisfying": verification.satisfying,
                         "ok": verification.ok,
+                        "formula_backend": phi_program.backend,
+                        "rows_evaluated": phi_program.stats["rows_run"] - run_before,
+                        "rows_reused": (phi_program.stats["rows"] - rows_before)
+                        - (phi_program.stats["rows_run"] - run_before),
                     },
                 )
             )

@@ -88,11 +88,11 @@ class ImplicitDefinitionProblem:
 
         Returns False if two satisfying assignments agree on the inputs but
         disagree on the output — a counterexample to implicit definability.
-        By default the family is filtered through the batched formula
-        evaluator and compared on interned ids: grouping by the input-id
-        tuple makes the check linear in the number of satisfying
-        assignments.  The batched path requires complete, well-typed
-        assignments (it does not short-circuit connectives row by row); pass
+        By default the family is filtered through the compiled formula
+        program (:func:`repro.logic.semantics.satisfying_assignments`) and
+        compared on interned ids: grouping by the input-id tuple makes the
+        check linear in the number of satisfying assignments.  The batched
+        path requires complete, well-typed assignments; pass
         ``batched=False`` for the per-row oracle, which evaluates lazily.
         """
         assignments = list(assignments)
@@ -105,16 +105,14 @@ class ImplicitDefinitionProblem:
                             return False
             return True
 
-        from repro.logic.semantics import eval_formula_batch
+        from repro.logic.semantics import satisfying_assignments
         from repro.nr.columns import shared_interner
 
         interner = shared_interner()
-        mask = eval_formula_batch(self.phi, assignments, interner)
+        view = satisfying_assignments(self.phi, assignments, interner)
         intern = interner.intern
         outputs_by_inputs: Dict[Tuple[int, ...], int] = {}
-        for assignment, ok in zip(assignments, mask):
-            if not ok:
-                continue
+        for assignment in view:
             key = tuple(intern(assignment[i]) for i in self.inputs)
             output_id = intern(assignment[self.output])
             previous = outputs_by_inputs.setdefault(key, output_id)

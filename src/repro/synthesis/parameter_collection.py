@@ -311,22 +311,22 @@ def check_collection(
     For every assignment satisfying all ``hypotheses``, the collected set
     ``{z ∈ c | λ(z)}`` must be a member of the candidate expression ``E``
     (= ``expr``).  The whole family is processed columnar: the hypotheses are
-    filtered with :func:`~repro.logic.semantics.eval_formula_batch`, the
-    λ-comprehension and ``E`` are evaluated with
+    filtered through the compiled conjunction
+    (:func:`~repro.logic.semantics.satisfying_assignments`, a zero-copy
+    view), the λ-comprehension and ``E`` are evaluated with
     :func:`~repro.nrc.eval.eval_nrc_batch_ids`, and membership is one integer
     binary search per satisfying assignment.  Returns a
     :class:`~repro.synthesis.verification.VerificationReport`.
     """
     from repro.logic.formulas import conj
-    from repro.logic.semantics import eval_formula_batch
+    from repro.logic.semantics import satisfying_assignments
     from repro.nr.columns import shared_interner
     from repro.nrc.eval import eval_nrc_batch_ids
     from repro.synthesis.verification import VerificationReport
 
     assignments = list(assignments)
     interner = shared_interner()
-    mask = eval_formula_batch(conj(list(hypotheses)), assignments, interner)
-    satisfying = [a for a, ok in zip(assignments, mask) if ok]
+    satisfying = satisfying_assignments(conj(list(hypotheses)), assignments, interner)
     envs = [{NVar(v.name, v.typ): value for v, value in a.items()} for a in satisfying]
     c_nrc = NVar(goal.c.name, goal.c.typ)
     z_nrc = NVar(goal.z.name, goal.z.typ)

@@ -6,13 +6,19 @@ and the benchmark harness): for every satisfying assignment of the
 specification, the synthesized expression evaluated on the inputs must equal
 the output value.
 
-Whole assignment families flow through the batched backends by default: the
-specification is filtered with :func:`repro.logic.semantics.eval_formula_batch`
-and the candidate expression is evaluated with
-:func:`repro.nrc.eval.eval_nrc_batch_ids`, so result comparison is a single
-integer comparison per assignment.  Passing ``batched=False`` selects the
-original per-environment path, which is kept as the differential-testing
-oracle for the batched one.
+Whole assignment families flow through the batched backends by default, with
+satisfying-row selection **fused** into evaluation: the specification is
+filtered through the compiled formula program
+(:func:`repro.logic.semantics.satisfying_assignments`, whose
+:class:`~repro.logic.semantics.SatisfyingView` never copies assignment
+dicts), the satisfying rows' input ids feed the candidate expression directly
+as id columns (:func:`repro.nrc.eval.eval_nrc_batch_columns` — no
+intermediate environment dicts are materialized), and result comparison is a
+single integer comparison per assignment.  Because the formula program
+interns whole assignment rows, repeated synthesis iterations skip every row
+they already verified.  Passing ``batched=False`` selects the original
+per-environment path, which is kept as the differential-testing oracle for
+the batched one.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.logic.semantics import eval_formula, eval_formula_batch
+from repro.logic.semantics import eval_formula, satisfying_assignments
 from repro.logic.terms import Var
 from repro.nr.columns import shared_interner
 from repro.nr.values import Value
@@ -70,18 +76,20 @@ def check_explicit_definition(
         return VerificationReport(len(assignments), satisfying, mismatches)
 
     interner = shared_interner()
-    mask = eval_formula_batch(problem.phi, assignments, interner)
-    satisfying_rows = [a for a, ok in zip(assignments, mask) if ok]
-    envs = [{nv: a[v] for v, nv in input_nvars.items()} for a in satisfying_rows]
-    produced_ids = eval_nrc_batch_ids(expression, envs, interner)
+    view = satisfying_assignments(problem.phi, assignments, interner)
     intern = interner.intern
+    # Fused filter-then-evaluate: the view's satisfying rows feed the
+    # expression as id columns — no environment dicts, no assignment copies,
+    # and the ids were already interned while evaluating the mask.
+    columns = {nv: [intern(a[v]) for a in view] for v, nv in input_nvars.items()}
+    produced_ids = eval_nrc_batch_columns(expression, columns, len(view), interner)
     output = problem.output
     mismatches = [
         assignment
-        for assignment, produced in zip(satisfying_rows, produced_ids)
+        for assignment, produced in zip(view, produced_ids)
         if produced != intern(assignment[output])
     ]
-    return VerificationReport(len(assignments), len(satisfying_rows), mismatches)
+    return VerificationReport(len(assignments), len(view), mismatches)
 
 
 def check_view_rewriting(

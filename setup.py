@@ -3,7 +3,12 @@ from setuptools import setup, find_packages
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
+    description=(
+        "Synthesis of nested relational queries from implicit specifications "
+        "(PODS 2023 reproduction) with a typed service API, async HTTP "
+        "front-end and CLI"
+    ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",

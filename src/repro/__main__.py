@@ -1,4 +1,9 @@
-"""``python -m repro`` — dispatch to the service CLI."""
+"""``python -m repro`` — dispatch to the service CLI.
+
+All subcommands (``list``/``synthesize``/``verify``/``sweep``/``cache-stats``
+and the HTTP pair ``serve``/``client``) are thin clients of the typed
+:class:`repro.service.server.SynthesisService` API.
+"""
 
 from repro.service.cli import main
 

@@ -115,9 +115,12 @@ class ProofSearch:
         # -- closure by axioms
         if Top() in delta:
             return focused.make_top_axiom(sequent)
-        for formula in delta:
-            if isinstance(formula, EqUr) and formula.left == formula.right:
-                return focused.make_eq_axiom(sequent, formula)
+        reflexive = [f for f in delta if isinstance(f, EqUr) and f.left == f.right]
+        if reflexive:
+            # min-by-rendering, not "whichever the set yields first": the
+            # chosen axiom formula lands in the proof tree, and downstream
+            # interpolation must see the same proof on every PYTHONHASHSEED.
+            return focused.make_eq_axiom(sequent, min(reflexive, key=str))
 
         # -- weaken ⊥ away (it would otherwise block the EL-only rules forever)
         if Bottom() in delta:
@@ -200,8 +203,11 @@ class ProofSearch:
         recency_index = {atom: i for i, atom in enumerate(recency)}
         moves: List[Tuple[float, Exists, Tuple[Term, ...], Formula]] = []
         seen: Set[Tuple[Formula, Formula]] = set()
+        # Θ is a frozenset; iterate it in cached-rendering order so witness
+        # enumeration (and hence the whole search) is PYTHONHASHSEED-stable.
+        theta = sorted(sequent.theta, key=str)
         for principal in sorted((f for f in sequent.delta if isinstance(f, Exists)), key=str):
-            for witnesses, specialized in focused.enumerate_max_specializations(principal, sequent.theta):
+            for witnesses, specialized in focused.enumerate_max_specializations(principal, theta):
                 if specialized in sequent.delta or specialized == principal:
                     continue
                 key = (principal, specialized)
@@ -234,36 +240,45 @@ class ProofSearch:
 
     # --------------------------------------------------------- equality closure
     def _equality_closure(self, sequent: Sequent) -> Optional[ProofNode]:
-        """Close the branch with a chain of ≠-rule rewrites ending in ``=``."""
-        goals = [f for f in sequent.delta if isinstance(f, EqUr)]
-        hyps = [f for f in sequent.delta if isinstance(f, NeqUr) and f.left != f.right]
+        """Close the branch with a chain of ≠-rule rewrites ending in ``=``.
+
+        Saturation iterates ``ordered`` (a deterministic insertion-order list
+        shadowing the ``known`` membership set), never a raw set: which chain
+        the saturation finds decides the proof tree that interpolation later
+        consumes, so enumeration order must not depend on ``PYTHONHASHSEED``.
+        """
+        goals = sorted((f for f in sequent.delta if isinstance(f, EqUr)), key=str)
+        hyps = sorted(
+            (f for f in sequent.delta if isinstance(f, NeqUr) and f.left != f.right), key=str
+        )
         if not goals or not hyps:
             return None
         atoms = goals + hyps
         known: Set[Formula] = set(atoms)
+        ordered: List[Formula] = list(atoms)
         derivation: Dict[Formula, Tuple[NeqUr, Formula]] = {}
         order: List[Formula] = []
         goal: Optional[EqUr] = None
 
-        frontier = list(atoms)
-        while frontier and goal is None and len(known) < self.max_equality_atoms:
-            next_frontier: List[Formula] = []
-            hypotheses = [a for a in known if isinstance(a, NeqUr) and a.left != a.right]
+        progressing = True
+        while progressing and goal is None and len(known) < self.max_equality_atoms:
+            progressing = False
+            hypotheses = [a for a in ordered if isinstance(a, NeqUr) and a.left != a.right]
             for hyp in hypotheses:
-                for atom in list(known):
+                for atom in list(ordered):
                     rewritten = _rewrite_atom(atom, hyp.left, hyp.right)
                     if rewritten == atom or rewritten in known:
                         continue
                     known.add(rewritten)
+                    ordered.append(rewritten)
                     derivation[rewritten] = (hyp, atom)
                     order.append(rewritten)
-                    next_frontier.append(rewritten)
+                    progressing = True
                     if isinstance(rewritten, EqUr) and rewritten.left == rewritten.right:
                         goal = rewritten
                         break
                 if goal is not None:
                     break
-            frontier = next_frontier
 
         if goal is None:
             return None

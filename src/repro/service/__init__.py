@@ -1,16 +1,33 @@
 """The synthesis service layer: orchestration on top of the library calls.
 
+* :mod:`repro.service.api`      — the versioned, typed wire contract:
+  request/response dataclasses with deterministic JSON round-trips and the
+  structured :class:`~repro.service.api.ApiError` taxonomy.
 * :mod:`repro.service.cache`    — content-addressed result cache (LRU +
-  optional persistent disk tier, bounded-memory hooks).
+  optional persistent disk tier with cost-aware eviction, bounded-memory
+  hooks).
 * :mod:`repro.service.pipeline` — the staged pipeline with per-stage timings
   and provenance (:class:`PipelineReport`).
 * :mod:`repro.service.registry` — named, discoverable problems: the paper's
   examples plus parametric scenario families.
 * :mod:`repro.service.workers`  — the parallel scenario runner (per-job
-  process isolation and timeouts).
-* :mod:`repro.service.cli`      — ``python -m repro`` subcommands.
+  process isolation and timeouts) and the typed-request worker entry point.
+* :mod:`repro.service.server`   — :class:`SynthesisService` (cache +
+  registry + bounded async job engine) and the stdlib asyncio HTTP
+  front-end (``python -m repro serve``).
+* :mod:`repro.service.cli`      — ``python -m repro`` subcommands, thin
+  clients of the same :class:`SynthesisService`.
 """
 
+from repro.service.api import (
+    API_VERSION,
+    ApiError,
+    JobStatus,
+    ProblemInfo,
+    SweepRequest,
+    SynthesizeRequest,
+    VerifyRequest,
+)
 from repro.service.cache import CacheStats, SynthesisCache, spec_digest, spec_key
 from repro.service.pipeline import PipelineReport, StageTiming, SynthesisPipeline
 from repro.service.registry import (
@@ -19,9 +36,17 @@ from repro.service.registry import (
     build_default_registry,
     default_registry,
 )
+from repro.service.server import BackgroundServer, SynthesisService, serve
 from repro.service.workers import JobOutcome, SweepSummary, run_sweep
 
 __all__ = [
+    "API_VERSION",
+    "ApiError",
+    "JobStatus",
+    "ProblemInfo",
+    "SweepRequest",
+    "SynthesizeRequest",
+    "VerifyRequest",
     "CacheStats",
     "SynthesisCache",
     "spec_digest",
@@ -33,6 +58,9 @@ __all__ = [
     "RegistryEntry",
     "build_default_registry",
     "default_registry",
+    "BackgroundServer",
+    "SynthesisService",
+    "serve",
     "JobOutcome",
     "SweepSummary",
     "run_sweep",

@@ -1,0 +1,967 @@
+"""The versioned, typed contract of the synthesis service (wire format v1).
+
+Every caller of the service — the ``python -m repro`` CLI, the asyncio HTTP
+front-end (:mod:`repro.service.server`), sweep worker processes — speaks the
+frozen dataclasses of this module instead of ad-hoc dicts.  The module is a
+**leaf**: it imports nothing from the rest of the service layer, so requests
+and responses can cross process boundaries (pickle) and the network (JSON)
+without dragging pipeline machinery along.
+
+Contracts
+=========
+
+* Requests — :class:`SynthesizeRequest`, :class:`VerifyRequest`,
+  :class:`SweepRequest`.  Validation happens at construction (and again in
+  :meth:`from_json_dict`, which additionally rejects unknown and mistyped
+  fields), so a malformed request is an :class:`ApiError` with code
+  ``invalid_request`` *before* any synthesis machinery runs.
+* Responses — :class:`SynthesisResult` (one pipeline run: digest, cache tier,
+  per-stage timings, the synthesized definition, an optional verification
+  summary), :class:`ProblemInfo` (one registry entry), :class:`SweepResponse`
+  / :class:`SweepOutcome` (a parallel sweep), :class:`JobStatus` (one async
+  job's lifecycle), and the cache-stats pair :class:`DiskCacheStats` /
+  :class:`ProcessCacheStats`.
+* Errors — :class:`ApiError`, a structured taxonomy (:data:`ERROR_CODES`)
+  with an HTTP status per code and a JSON rendering, so the CLI and the HTTP
+  server map the same failure to the same message.
+
+Serialization is deterministic: ``X.from_json(x.to_json()) == x`` for every
+contract type (the round-trip is property-tested), and ``to_json`` emits keys
+in a fixed order so equal values render byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: The wire-format version; every HTTP route is prefixed with it.
+API_VERSION = "v1"
+
+#: Default verification family size when a request verifies (``scale`` rows).
+DEFAULT_VERIFY_SCALE = 24
+
+#: Job lifecycle states (see :class:`JobStatus`).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+# ----------------------------------------------------------------- the errors
+#: Error code → HTTP status.  The taxonomy is closed: every failure the
+#: service can surface maps onto exactly one of these codes.
+ERROR_CODES: Dict[str, int] = {
+    "invalid_request": 400,  # malformed request (bad field, bad type, bad JSON)
+    "not_found": 404,  # no such route / resource
+    "unknown_problem": 404,  # the registry has no entry with this name
+    "unknown_job": 404,  # no job with this id
+    "synthesis_failed": 422,  # the synthesis stack raised (search, interpolation…)
+    "verification_failed": 422,  # the definition mismatched its instance family
+    "timeout": 504,  # the job exceeded its per-job deadline
+    "cancelled": 409,  # the job was cancelled before it finished
+    "queue_full": 429,  # the bounded job queue rejected the submission
+    "internal": 500,  # anything unexpected (worker crash, server bug)
+}
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """The data of a structured error (embeddable in :class:`JobStatus`)."""
+
+    code: str
+    message: str
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(f"unknown API error code {self.code!r}")
+        object.__setattr__(self, "detail", dict(self.detail))
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_CODES[self.code]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"code": self.code, "message": self.message}
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ErrorInfo":
+        _check_fields("ErrorInfo", payload, {"code", "message", "detail"})
+        return cls(
+            code=_field(payload, "code", str),
+            message=_field(payload, "message", str),
+            detail=_field(payload, "detail", dict, default={}),
+        )
+
+
+class ApiError(Exception):
+    """A structured service failure: taxonomy code + message + detail."""
+
+    def __init__(self, code: str, message: str, detail: Optional[Mapping[str, object]] = None):
+        super().__init__(message)
+        self.info = ErrorInfo(code, message, detail or {})
+
+    @property
+    def code(self) -> str:
+        return self.info.code
+
+    @property
+    def message(self) -> str:
+        return self.info.message
+
+    @property
+    def detail(self) -> Mapping[str, object]:
+        return self.info.detail
+
+    @property
+    def http_status(self) -> int:
+        return self.info.http_status
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {"error": self.info.to_json_dict()}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_info(cls, info: ErrorInfo) -> "ApiError":
+        return cls(info.code, info.message, info.detail)
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ApiError":
+        body = payload.get("error", payload)
+        if not isinstance(body, Mapping):
+            raise ValueError(f"malformed error payload: {payload!r}")
+        return cls.from_info(ErrorInfo.from_json_dict(body))
+
+
+def invalid_request(message: str, **detail: object) -> ApiError:
+    return ApiError("invalid_request", message, detail)
+
+
+def unknown_problem(message: str) -> ApiError:
+    return ApiError("unknown_problem", message)
+
+
+def unknown_job(job_id: str) -> ApiError:
+    return ApiError("unknown_job", f"unknown job {job_id!r}", {"job_id": job_id})
+
+
+def queue_full(limit: int) -> ApiError:
+    return ApiError(
+        "queue_full",
+        f"job queue is full ({limit} jobs queued or running); retry later",
+        {"queue_limit": limit},
+    )
+
+
+def job_timeout(seconds: float) -> ApiError:
+    return ApiError(
+        "timeout",
+        f"job exceeded its timeout of {seconds:.1f}s",
+        {"timeout_seconds": seconds},
+    )
+
+
+def job_cancelled(job_id: str) -> ApiError:
+    return ApiError("cancelled", f"job {job_id!r} was cancelled", {"job_id": job_id})
+
+
+def synthesis_failure(exc: BaseException, expected: str = "ok") -> ApiError:
+    """Map a synthesis-stack exception onto the taxonomy.
+
+    ``expected`` is the registry expectation of the entry that failed; a
+    non-``"ok"`` value appends the known-limitation note the CLI has always
+    printed, so the message is transport-independent.
+    """
+    note = ""
+    if expected != "ok":
+        note = f" (a known limitation: this entry is marked {expected!r} in the registry)"
+    return ApiError(
+        "synthesis_failed",
+        f"{type(exc).__name__}: {exc}{note}",
+        {"error_type": type(exc).__name__, "expected": expected},
+    )
+
+
+# ------------------------------------------------------------- field plumbing
+def _check_fields(kind: str, payload: Mapping[str, object], allowed: set) -> None:
+    if not isinstance(payload, Mapping):
+        raise invalid_request(f"{kind} payload must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - allowed
+    if unknown:
+        raise invalid_request(
+            f"{kind} has unknown field(s): {', '.join(sorted(unknown))}",
+            unknown_fields=sorted(unknown),
+        )
+
+
+_MISSING = object()
+
+
+def _field(payload: Mapping[str, object], name: str, typ, default=_MISSING):
+    value = payload.get(name, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise invalid_request(f"missing required field {name!r}")
+        return default
+    if typ is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if typ is int and isinstance(value, bool):
+        raise invalid_request(f"field {name!r} must be {typ.__name__}, got bool")
+    if not isinstance(value, typ):
+        raise invalid_request(
+            f"field {name!r} must be {getattr(typ, '__name__', typ)}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _opt_field(payload: Mapping[str, object], name: str, typ):
+    value = payload.get(name)
+    if value is None:
+        return None
+    return _field(payload, name, typ)
+
+
+# ------------------------------------------------------------------- requests
+@dataclass(frozen=True)
+class SynthesizeRequest:
+    """Run one registry problem through the staged pipeline.
+
+    ``verify_scale`` > 0 additionally verifies the definition on that many
+    generated satisfying instances (skipped when the entry has no instance
+    generator).  ``cache_dir`` overrides the service's persistent cache
+    directory for this request.  ``timeout`` bounds asynchronous execution
+    (seconds); inline callers ignore it.
+    """
+
+    problem: str
+    max_depth: Optional[int] = None
+    verify_scale: int = 0
+    cache_dir: Optional[str] = None
+    include_raw: bool = False
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, str) or not self.problem:
+            raise invalid_request("problem must be a non-empty registry name")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise invalid_request("max_depth must be at least 1")
+        if self.verify_scale < 0:
+            raise invalid_request("verify_scale must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise invalid_request("timeout must be positive")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"problem": self.problem}
+        if self.max_depth is not None:
+            payload["max_depth"] = self.max_depth
+        if self.verify_scale:
+            payload["verify_scale"] = self.verify_scale
+        if self.cache_dir is not None:
+            payload["cache_dir"] = self.cache_dir
+        if self.include_raw:
+            payload["include_raw"] = self.include_raw
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SynthesizeRequest":
+        _check_fields(
+            "SynthesizeRequest",
+            payload,
+            {"problem", "max_depth", "verify_scale", "cache_dir", "include_raw", "timeout"},
+        )
+        return cls(
+            problem=_field(payload, "problem", str),
+            max_depth=_opt_field(payload, "max_depth", int),
+            verify_scale=_field(payload, "verify_scale", int, default=0),
+            cache_dir=_opt_field(payload, "cache_dir", str),
+            include_raw=_field(payload, "include_raw", bool, default=False),
+            timeout=_opt_field(payload, "timeout", float),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynthesizeRequest":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """Synthesize + check the definition on a generated instance family."""
+
+    problem: str
+    scale: int = DEFAULT_VERIFY_SCALE
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, str) or not self.problem:
+            raise invalid_request("problem must be a non-empty registry name")
+        if self.scale < 1:
+            raise invalid_request(
+                "scale must be at least 1: verifying zero instances verifies nothing"
+            )
+        if self.max_depth is not None and self.max_depth < 1:
+            raise invalid_request("max_depth must be at least 1")
+
+    def to_synthesize(self) -> SynthesizeRequest:
+        return SynthesizeRequest(
+            problem=self.problem, max_depth=self.max_depth, verify_scale=self.scale
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"problem": self.problem, "scale": self.scale}
+        if self.max_depth is not None:
+            payload["max_depth"] = self.max_depth
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "VerifyRequest":
+        _check_fields("VerifyRequest", payload, {"problem", "scale", "max_depth"})
+        return cls(
+            problem=_field(payload, "problem", str),
+            scale=_field(payload, "scale", int, default=DEFAULT_VERIFY_SCALE),
+            max_depth=_opt_field(payload, "max_depth", int),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerifyRequest":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Run many registry problems through the parallel worker pool.
+
+    An empty ``problems`` tuple sweeps the default population (every entry
+    expected to synthesize) unless ``include_all`` asks for the full registry.
+    """
+
+    problems: Tuple[str, ...] = ()
+    include_all: bool = False
+    processes: Optional[int] = None
+    timeout: Optional[float] = None
+    verify_scale: int = 0
+    cache_dir: Optional[str] = None
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problems", tuple(self.problems))
+        if any(not isinstance(name, str) or not name for name in self.problems):
+            raise invalid_request("problems must be non-empty registry names")
+        if self.problems and self.include_all:
+            raise invalid_request("pass either explicit problems or include_all, not both")
+        if self.processes is not None and self.processes < 1:
+            raise invalid_request("processes must be at least 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise invalid_request("timeout must be positive")
+        if self.verify_scale < 0:
+            raise invalid_request("verify_scale must be non-negative")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise invalid_request("max_depth must be at least 1")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        if self.problems:
+            payload["problems"] = list(self.problems)
+        if self.include_all:
+            payload["include_all"] = True
+        if self.processes is not None:
+            payload["processes"] = self.processes
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        if self.verify_scale:
+            payload["verify_scale"] = self.verify_scale
+        if self.cache_dir is not None:
+            payload["cache_dir"] = self.cache_dir
+        if self.max_depth is not None:
+            payload["max_depth"] = self.max_depth
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepRequest":
+        _check_fields(
+            "SweepRequest",
+            payload,
+            {
+                "problems",
+                "include_all",
+                "processes",
+                "timeout",
+                "verify_scale",
+                "cache_dir",
+                "max_depth",
+            },
+        )
+        problems = _field(payload, "problems", list, default=[])
+        if not all(isinstance(name, str) for name in problems):
+            raise invalid_request("problems must be a list of strings")
+        return cls(
+            problems=tuple(problems),
+            include_all=_field(payload, "include_all", bool, default=False),
+            processes=_opt_field(payload, "processes", int),
+            timeout=_opt_field(payload, "timeout", float),
+            verify_scale=_field(payload, "verify_scale", int, default=0),
+            cache_dir=_opt_field(payload, "cache_dir", str),
+            max_depth=_opt_field(payload, "max_depth", int),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepRequest":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+# ------------------------------------------------------------------ responses
+@dataclass(frozen=True)
+class ProblemInfo:
+    """One registry entry's discoverable metadata."""
+
+    name: str
+    description: str
+    tags: Tuple[str, ...] = ()
+    expected: str = "ok"
+    has_instances: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tags": list(self.tags),
+            "expected": self.expected,
+            "has_instances": self.has_instances,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ProblemInfo":
+        _check_fields(
+            "ProblemInfo", payload, {"name", "description", "tags", "expected", "has_instances"}
+        )
+        return cls(
+            name=_field(payload, "name", str),
+            description=_field(payload, "description", str),
+            tags=tuple(_field(payload, "tags", list, default=[])),
+            expected=_field(payload, "expected", str, default="ok"),
+            has_instances=_field(payload, "has_instances", bool, default=False),
+        )
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One named pipeline stage: wall-clock seconds + provenance detail."""
+
+    name: str
+    seconds: float
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "detail", dict(self.detail))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"name": self.name, "seconds": self.seconds}
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "StageReport":
+        _check_fields("StageReport", payload, {"name", "seconds", "detail"})
+        return cls(
+            name=_field(payload, "name", str),
+            seconds=_field(payload, "seconds", float),
+            detail=_field(payload, "detail", dict, default={}),
+        )
+
+
+@dataclass(frozen=True)
+class VerificationSummary:
+    """Tally of the batched verification stage."""
+
+    checked: int
+    satisfying: int
+    ok: bool
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {"checked": self.checked, "satisfying": self.satisfying, "ok": self.ok}
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "VerificationSummary":
+        _check_fields("VerificationSummary", payload, {"checked", "satisfying", "ok"})
+        return cls(
+            checked=_field(payload, "checked", int),
+            satisfying=_field(payload, "satisfying", int),
+            ok=_field(payload, "ok", bool),
+        )
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """The wire rendering of one pipeline run (the service's main response).
+
+    ``display`` carries transport-local conveniences (the pretty-printed
+    definition for terminal rendering); it is excluded from serialization and
+    from equality, so round-tripping through JSON preserves ``==``.
+    """
+
+    problem: str
+    digest: str
+    cache_tier: str
+    total_seconds: float
+    stages: Tuple[StageReport, ...] = ()
+    expression: Optional[str] = None
+    expression_size: Optional[int] = None
+    proof_size: Optional[int] = None
+    raw_expression: Optional[str] = None
+    verification: Optional[VerificationSummary] = None
+    display: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "display", dict(self.display))
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_tier in ("memory", "disk")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "problem": self.problem,
+            "digest": self.digest,
+            "cache_tier": self.cache_tier,
+            "cache_hit": self.cache_hit,
+            "total_seconds": self.total_seconds,
+            "stages": [stage.to_json_dict() for stage in self.stages],
+        }
+        if self.expression is not None:
+            payload["expression"] = self.expression
+            payload["expression_size"] = self.expression_size
+            payload["proof_size"] = self.proof_size
+        if self.raw_expression is not None:
+            payload["raw_expression"] = self.raw_expression
+        if self.verification is not None:
+            payload["verification"] = self.verification.to_json_dict()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SynthesisResult":
+        _check_fields(
+            "SynthesisResult",
+            payload,
+            {
+                "problem",
+                "digest",
+                "cache_tier",
+                "cache_hit",
+                "total_seconds",
+                "stages",
+                "expression",
+                "expression_size",
+                "proof_size",
+                "raw_expression",
+                "verification",
+            },
+        )
+        verification = payload.get("verification")
+        return cls(
+            problem=_field(payload, "problem", str),
+            digest=_field(payload, "digest", str),
+            cache_tier=_field(payload, "cache_tier", str),
+            total_seconds=_field(payload, "total_seconds", float),
+            stages=tuple(
+                StageReport.from_json_dict(stage)
+                for stage in _field(payload, "stages", list, default=[])
+            ),
+            expression=_opt_field(payload, "expression", str),
+            expression_size=_opt_field(payload, "expression_size", int),
+            proof_size=_opt_field(payload, "proof_size", int),
+            raw_expression=_opt_field(payload, "raw_expression", str),
+            verification=(
+                VerificationSummary.from_json_dict(verification)
+                if verification is not None
+                else None
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynthesisResult":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One asynchronous job's lifecycle snapshot.
+
+    ``state`` walks ``queued → running → done | failed | cancelled``;
+    warm-cache submissions are born ``done`` (they never enter the queue).
+    ``result`` is set on ``done``; ``error`` on ``failed``/``cancelled``.
+    """
+
+    id: str
+    state: str
+    problem: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[SynthesisResult] = None
+    error: Optional[ErrorInfo] = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise invalid_request(f"unknown job state {self.state!r}")
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "problem": self.problem,
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        if self.result is not None:
+            payload["result"] = self.result.to_json_dict()
+        if self.error is not None:
+            payload["error"] = self.error.to_json_dict()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "JobStatus":
+        _check_fields(
+            "JobStatus",
+            payload,
+            {
+                "id",
+                "state",
+                "problem",
+                "submitted_at",
+                "started_at",
+                "finished_at",
+                "result",
+                "error",
+            },
+        )
+        result = payload.get("result")
+        error = payload.get("error")
+        return cls(
+            id=_field(payload, "id", str),
+            state=_field(payload, "state", str),
+            problem=_field(payload, "problem", str),
+            submitted_at=_field(payload, "submitted_at", float),
+            started_at=_opt_field(payload, "started_at", float),
+            finished_at=_opt_field(payload, "finished_at", float),
+            result=SynthesisResult.from_json_dict(result) if result is not None else None,
+            error=ErrorInfo.from_json_dict(error) if error is not None else None,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobStatus":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Flat wire record of one sweep job (mirrors ``workers.JobOutcome``)."""
+
+    name: str
+    status: str
+    seconds: float
+    expected: str = "ok"
+    cache_tier: str = "off"
+    expression: Optional[str] = None
+    expression_size: Optional[int] = None
+    proof_size: Optional[int] = None
+    verified: Optional[bool] = None
+    error: Optional[str] = None
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stage_seconds", dict(self.stage_seconds))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "seconds": self.seconds,
+            "expected": self.expected,
+            "cache_tier": self.cache_tier,
+            "expression": self.expression,
+            "expression_size": self.expression_size,
+            "proof_size": self.proof_size,
+            "verified": self.verified,
+            "error": self.error,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepOutcome":
+        _check_fields(
+            "SweepOutcome",
+            payload,
+            {
+                "name",
+                "status",
+                "seconds",
+                "expected",
+                "cache_tier",
+                "expression",
+                "expression_size",
+                "proof_size",
+                "verified",
+                "error",
+                "stage_seconds",
+            },
+        )
+        return cls(
+            name=_field(payload, "name", str),
+            status=_field(payload, "status", str),
+            seconds=_field(payload, "seconds", float),
+            expected=_field(payload, "expected", str, default="ok"),
+            cache_tier=_field(payload, "cache_tier", str, default="off"),
+            expression=_opt_field(payload, "expression", str),
+            expression_size=_opt_field(payload, "expression_size", int),
+            proof_size=_opt_field(payload, "proof_size", int),
+            verified=_opt_field(payload, "verified", bool),
+            error=_opt_field(payload, "error", str),
+            stage_seconds=_field(payload, "stage_seconds", dict, default={}),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """All sweep outcomes plus aggregate counters."""
+
+    wall_seconds: float
+    processes: int
+    counts: Mapping[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    ok: bool = True
+    jobs: Tuple[SweepOutcome, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counts", dict(self.counts))
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "processes": self.processes,
+            "counts": dict(self.counts),
+            "cache_hits": self.cache_hits,
+            "ok": self.ok,
+            "jobs": [job.to_json_dict() for job in self.jobs],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepResponse":
+        _check_fields(
+            "SweepResponse",
+            payload,
+            {"wall_seconds", "processes", "counts", "cache_hits", "ok", "jobs"},
+        )
+        return cls(
+            wall_seconds=_field(payload, "wall_seconds", float),
+            processes=_field(payload, "processes", int),
+            counts=_field(payload, "counts", dict, default={}),
+            cache_hits=_field(payload, "cache_hits", int, default=0),
+            ok=_field(payload, "ok", bool, default=True),
+            jobs=tuple(
+                SweepOutcome.from_json_dict(job)
+                for job in _field(payload, "jobs", list, default=[])
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResponse":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One persistent cache entry's sidecar metadata."""
+
+    digest: str
+    name: str
+    expression: str
+    expression_size: int
+    proof_size: int
+    created: float
+    payload_bytes: int = 0
+    synthesis_seconds: float = 0.0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "digest": self.digest,
+            "name": self.name,
+            "expression": self.expression,
+            "expression_size": self.expression_size,
+            "proof_size": self.proof_size,
+            "created": self.created,
+            "payload_bytes": self.payload_bytes,
+            "synthesis_seconds": self.synthesis_seconds,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "CacheEntryInfo":
+        _check_fields(
+            "CacheEntryInfo",
+            payload,
+            {
+                "digest",
+                "name",
+                "expression",
+                "expression_size",
+                "proof_size",
+                "created",
+                "payload_bytes",
+                "synthesis_seconds",
+            },
+        )
+        return cls(
+            digest=_field(payload, "digest", str),
+            name=_field(payload, "name", str),
+            expression=_field(payload, "expression", str),
+            expression_size=_field(payload, "expression_size", int),
+            proof_size=_field(payload, "proof_size", int),
+            created=_field(payload, "created", float),
+            payload_bytes=_field(payload, "payload_bytes", int, default=0),
+            synthesis_seconds=_field(payload, "synthesis_seconds", float, default=0.0),
+        )
+
+
+@dataclass(frozen=True)
+class DiskCacheStats:
+    """Persistent-tier inventory of a cache directory."""
+
+    cache_dir: str
+    entries: Tuple[CacheEntryInfo, ...] = ()
+    total_payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "cache_dir": self.cache_dir,
+            "entries": [entry.to_json_dict() for entry in self.entries],
+            "total_payload_bytes": self.total_payload_bytes,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "DiskCacheStats":
+        _check_fields("DiskCacheStats", payload, {"cache_dir", "entries", "total_payload_bytes"})
+        return cls(
+            cache_dir=_field(payload, "cache_dir", str),
+            entries=tuple(
+                CacheEntryInfo.from_json_dict(entry)
+                for entry in _field(payload, "entries", list, default=[])
+            ),
+            total_payload_bytes=_field(payload, "total_payload_bytes", int, default=0),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiskCacheStats":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class ProcessCacheStats:
+    """This process's in-memory cache telemetry (no ``cache_dir`` given)."""
+
+    intern_table: Mapping[str, object] = field(default_factory=dict)
+    shared_value_interner: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intern_table", dict(self.intern_table))
+        object.__setattr__(self, "shared_value_interner", dict(self.shared_value_interner))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "process": {
+                "intern_table": dict(self.intern_table),
+                "shared_value_interner": dict(self.shared_value_interner),
+            }
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ProcessCacheStats":
+        _check_fields("ProcessCacheStats", payload, {"process"})
+        process = _field(payload, "process", dict, default={})
+        _check_fields("ProcessCacheStats.process", process, {"intern_table", "shared_value_interner"})
+        return cls(
+            intern_table=_field(process, "intern_table", dict, default={}),
+            shared_value_interner=_field(process, "shared_value_interner", dict, default={}),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProcessCacheStats":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+def _parse_json_object(text) -> Mapping[str, object]:
+    try:
+        payload = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise invalid_request(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise invalid_request(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+#: Every serializable contract type, for the round-trip property tests.
+CONTRACT_TYPES = (
+    ErrorInfo,
+    SynthesizeRequest,
+    VerifyRequest,
+    SweepRequest,
+    ProblemInfo,
+    StageReport,
+    VerificationSummary,
+    SynthesisResult,
+    JobStatus,
+    SweepOutcome,
+    SweepResponse,
+    CacheEntryInfo,
+    DiskCacheStats,
+    ProcessCacheStats,
+)

@@ -20,8 +20,12 @@ a **content address** derived from the interned specification:
 
 Long-running services must not grow without bound; :meth:`SynthesisCache.
 maintain` size-bounds the process-global memo structures the synthesis stack
-accumulates: the hash-consing intern table (``core/interning.py``) and the
-shared columnar :class:`~repro.nr.columns.ValueInterner` (``nr/columns.py``).
+accumulates — the hash-consing intern table (``core/interning.py``) and the
+shared columnar :class:`~repro.nr.columns.ValueInterner` (``nr/columns.py``)
+— and the **disk tier itself**, with a cost-aware policy: each sidecar
+records the synthesis wall-time that produced its entry, and past the bounds
+the cheapest-to-recompute entries are evicted first (a microsecond union view
+is disposable; a multi-second copy-chain proof is kept).
 """
 
 from __future__ import annotations
@@ -52,6 +56,10 @@ DEFAULT_CAPACITY = 128
 #: Defaults for :meth:`SynthesisCache.maintain`'s process-global bounds.
 DEFAULT_INTERN_TABLE_BOUND = 250_000
 DEFAULT_INTERNER_ID_BOUND = 1_000_000
+
+#: Defaults for the disk tier's cost-aware eviction (entries / payload bytes).
+DEFAULT_DISK_ENTRY_BOUND = 1024
+DEFAULT_DISK_PAYLOAD_BOUND = 256 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,7 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
+    disk_evictions: int = 0
     intern_table_clears: int = 0
     interner_rotations: int = 0
 
@@ -107,7 +116,13 @@ class CacheStats:
 
 @dataclass
 class DiskEntry:
-    """One on-disk cache entry's metadata (from its JSON sidecar)."""
+    """One on-disk cache entry's metadata (from its JSON sidecar).
+
+    ``synthesis_seconds`` is the wall-time of the cold run that produced the
+    entry (proof search + extraction + simplification) — the recompute cost
+    the eviction policy protects.  Sidecars written before the field existed
+    read as ``0.0``: maximally cheap, first to go.
+    """
 
     digest: str
     name: str
@@ -116,9 +131,15 @@ class DiskEntry:
     proof_size: int
     created: float
     payload_bytes: int = 0
+    synthesis_seconds: float = 0.0
+
+    def to_api(self) -> "api_module.CacheEntryInfo":
+        from repro.service import api as api_module
+
+        return api_module.CacheEntryInfo(**self.__dict__)
 
     def as_dict(self) -> Dict[str, object]:
-        return dict(self.__dict__)
+        return self.to_api().to_json_dict()
 
 
 class SynthesisCache:
@@ -135,6 +156,8 @@ class SynthesisCache:
         disk_dir: Optional[os.PathLike] = None,
         intern_table_bound: int = DEFAULT_INTERN_TABLE_BOUND,
         interner_id_bound: int = DEFAULT_INTERNER_ID_BOUND,
+        disk_entry_bound: Optional[int] = DEFAULT_DISK_ENTRY_BOUND,
+        disk_payload_bound: Optional[int] = DEFAULT_DISK_PAYLOAD_BOUND,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
@@ -142,8 +165,11 @@ class SynthesisCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.intern_table_bound = intern_table_bound
         self.interner_id_bound = interner_id_bound
+        self.disk_entry_bound = disk_entry_bound
+        self.disk_payload_bound = disk_payload_bound
         self.stats = CacheStats()
         self._lru: "OrderedDict[SpecKey, SynthesisResult]" = OrderedDict()
+        self._disk_dirty = False
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_stale_tmp_files()
@@ -175,26 +201,54 @@ class SynthesisCache:
     def get(self, problem: ImplicitDefinitionProblem) -> Optional[SynthesisResult]:
         return self.lookup(problem)[0]
 
+    def peek(self, problem: ImplicitDefinitionProblem) -> Optional[str]:
+        """The tier that *would* serve ``problem`` (no stats, no promotion).
+
+        The async front-end uses this to decide whether a submission can be
+        answered inline (warm) instead of entering the job queue; a peek must
+        therefore never mutate LRU order or hit/miss counters.
+        """
+        if spec_key(problem) in self._lru:
+            return "memory"
+        if self.disk_dir is not None:
+            payload_path, _ = self._entry_paths(spec_digest(problem))
+            if payload_path.exists():
+                return "disk"
+        return None
+
     # ----------------------------------------------------------------- store
     def store(
         self,
         problem: ImplicitDefinitionProblem,
         result: SynthesisResult,
         digest: Optional[str] = None,
+        cost_seconds: float = 0.0,
     ) -> str:
         """Write ``result`` through both tiers; returns the content digest.
 
         ``digest`` lets callers that already computed :func:`spec_digest`
         (the pipeline puts it in every report) avoid rendering φ twice.
+        ``cost_seconds`` is the synthesis wall-time recorded in the sidecar —
+        the recompute cost the disk tier's eviction policy keys on.
         """
         if digest is None:
             digest = spec_digest(problem)
         self._memory_store(spec_key(problem), result)
         self.stats.stores += 1
         if self.disk_dir is not None:
-            self._disk_store(digest, problem, result)
+            self._disk_store(digest, problem, result, cost_seconds)
             self.stats.disk_stores += 1
+            self._disk_dirty = True
         return digest
+
+    def store_memory(self, problem: ImplicitDefinitionProblem, result: SynthesisResult) -> None:
+        """Populate only the in-memory tier (no sidecar, no disk write).
+
+        Used by the server's parent process to adopt results synthesized in a
+        worker process: the worker already wrote the disk tier (when one is
+        configured), so the parent only needs the warm LRU slot.
+        """
+        self._memory_store(spec_key(problem), result)
 
     def _memory_store(self, key: SpecKey, result: SynthesisResult) -> None:
         lru = self._lru
@@ -230,6 +284,38 @@ class SynthesisCache:
         if self.interner_id_bound and shared_interner_stats()["ids"] > self.interner_id_bound:
             reset_shared_interner()
             self.stats.interner_rotations += 1
+        if self._disk_dirty:
+            self._disk_dirty = False
+            self._evict_cheapest_disk_entries()
+
+    def _evict_cheapest_disk_entries(self) -> None:
+        """Bound the disk tier, evicting cheapest-to-recompute entries first.
+
+        Ordered by ``(synthesis_seconds, created)`` ascending: of two entries
+        over budget, the one whose proof search was cheaper goes first; among
+        equally cheap entries the oldest goes first.  Only runs after a disk
+        store (``_disk_dirty``), so warm traffic never pays the directory
+        scan.
+        """
+        if self.disk_dir is None or (not self.disk_entry_bound and not self.disk_payload_bound):
+            return
+        entries = disk_entries(self.disk_dir)
+        total_bytes = sum(entry.payload_bytes for entry in entries)
+        over_entries = self.disk_entry_bound and len(entries) > self.disk_entry_bound
+        over_bytes = self.disk_payload_bound and total_bytes > self.disk_payload_bound
+        if not over_entries and not over_bytes:
+            return
+        by_cost = sorted(entries, key=lambda entry: (entry.synthesis_seconds, entry.created))
+        count = len(entries)
+        for victim in by_cost:
+            over_entries = self.disk_entry_bound and count > self.disk_entry_bound
+            over_bytes = self.disk_payload_bound and total_bytes > self.disk_payload_bound
+            if not over_entries and not over_bytes:
+                break
+            self._disk_evict(victim.digest)
+            self.stats.disk_evictions += 1
+            count -= 1
+            total_bytes -= victim.payload_bytes
 
     # ------------------------------------------------------------- disk tier
     #: A worker SIGTERMed mid-write (the sweep's per-job timeout) can leave a
@@ -270,7 +356,11 @@ class SynthesisCache:
         return result
 
     def _disk_store(
-        self, digest: str, problem: ImplicitDefinitionProblem, result: SynthesisResult
+        self,
+        digest: str,
+        problem: ImplicitDefinitionProblem,
+        result: SynthesisResult,
+        cost_seconds: float = 0.0,
     ) -> None:
         payload_path, meta_path = self._entry_paths(digest)
         blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
@@ -282,6 +372,7 @@ class SynthesisCache:
             proof_size=result.proof_size,
             created=time.time(),
             payload_bytes=len(blob),
+            synthesis_seconds=round(cost_seconds, 6),
         )
         _atomic_write_bytes(payload_path, blob)
         _atomic_write_bytes(meta_path, (json.dumps(meta.as_dict(), indent=2) + "\n").encode())

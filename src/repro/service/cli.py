@@ -10,6 +10,18 @@ Subcommands::
                                 [--timeout S] [--verify-scale N]
                                 [--cache-dir D] [--max-depth N] [--json]
     python -m repro cache-stats [--cache-dir D] [--json]
+    python -m repro serve       [--host H] [--port P] [--cache-dir D]
+                                [--max-workers N] [--queue-limit N]
+                                [--job-timeout S]
+    python -m repro client      [--url U] health|list|synthesize|job|cancel|
+                                cache-stats ...
+
+Every subcommand is a thin client of the typed service API
+(:mod:`repro.service.api`): ``list``/``synthesize``/``verify``/``sweep``/
+``cache-stats`` build a request object, call the in-process
+:class:`~repro.service.server.SynthesisService`, and render the typed
+response; ``client`` sends the same requests to a running ``repro serve``
+over HTTP and renders the same responses, so local and remote output match.
 
 Everything prints human-readable text by default; ``--json`` switches every
 subcommand to a machine-readable JSON document on stdout (one object).
@@ -21,11 +33,27 @@ import argparse
 import json
 import sys
 from typing import List, Optional
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+from urllib.parse import quote, urlencode
 
-from repro.errors import ReproError
-from repro.service.cache import disk_entries
-from repro.service.registry import RegistryEntry, default_registry
-from repro.service.workers import DEFAULT_VERIFY_SCALE, pipeline_for_entry, run_sweep
+from repro.service import api
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_QUEUE_LIMIT,
+    SynthesisService,
+    serve,
+)
+
+#: ApiError code → process exit code.  Usage-shaped failures (bad arguments,
+#: unknown names) exit 2 like argparse; runtime failures exit 1.
+_EXIT_CODES = {
+    "invalid_request": 2,
+    "unknown_problem": 2,
+    "not_found": 2,
+    "unknown_job": 2,
+}
 
 
 class CliError(Exception):
@@ -34,6 +62,10 @@ class CliError(Exception):
     def __init__(self, message: str, code: int = 2) -> None:
         super().__init__(message)
         self.code = code
+
+
+def _cli_error(exc: api.ApiError) -> CliError:
+    return CliError(exc.message, code=_EXIT_CODES.get(exc.code, 1))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument("name")
     verify_parser.add_argument(
-        "--scale", type=int, default=DEFAULT_VERIFY_SCALE, help="instance family size"
+        "--scale", type=int, default=api.DEFAULT_VERIFY_SCALE, help="instance family size"
     )
     verify_parser.add_argument("--max-depth", type=int, default=None)
     verify_parser.add_argument("--json", action="store_true", dest="as_json")
@@ -99,197 +131,313 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
     stats_parser.add_argument("--json", action="store_true", dest="as_json")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the asyncio HTTP front-end over the synthesis service"
+    )
+    serve_parser.add_argument("--host", default=DEFAULT_HOST)
+    serve_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=None, help="concurrent synthesis worker processes"
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=None, help="bound on queued + running jobs"
+    )
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None, help="default per-job seconds"
+    )
+
+    client_parser = subparsers.add_parser(
+        "client", help="talk to a running `repro serve` over HTTP"
+    )
+    client_parser.add_argument(
+        "--url",
+        default=f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+        help="base URL of the server (default: %(default)s)",
+    )
+    client_sub = client_parser.add_subparsers(dest="client_command", required=True)
+
+    client_sub.add_parser("health", help="GET /healthz")
+
+    client_list = client_sub.add_parser("list", help="GET /v1/problems")
+    client_list.add_argument("--tag")
+    client_list.add_argument("--json", action="store_true", dest="as_json")
+
+    client_synth = client_sub.add_parser("synthesize", help="POST /v1/synthesize")
+    client_synth.add_argument("name")
+    client_synth.add_argument("--max-depth", type=int, default=None)
+    client_synth.add_argument("--verify-scale", type=int, default=0)
+    client_synth.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    client_synth.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit asynchronously and print the job status instead of waiting",
+    )
+    client_synth.add_argument("--json", action="store_true", dest="as_json")
+
+    client_job = client_sub.add_parser("job", help="GET /v1/jobs/<id>")
+    client_job.add_argument("job_id")
+
+    client_cancel = client_sub.add_parser("cancel", help="DELETE /v1/jobs/<id>")
+    client_cancel.add_argument("job_id")
+
+    client_stats = client_sub.add_parser("cache-stats", help="GET /v1/cache/stats")
+    client_stats.add_argument("--cache-dir", default=None)
+    client_stats.add_argument("--json", action="store_true", dest="as_json")
+
     return parser
 
 
-# ------------------------------------------------------------------ commands
-def _cmd_list(args) -> int:
-    registry = default_registry()
-    entries = registry.entries(tag=args.tag)
-    if args.as_json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "name": entry.name,
-                        "description": entry.description,
-                        "tags": list(entry.tags),
-                        "expected": entry.expected,
-                        "has_instances": entry.instances is not None,
-                    }
-                    for entry in entries
-                ],
-                indent=2,
-            )
-        )
+# ----------------------------------------------------------------- rendering
+def _render_problem_list(infos: List[api.ProblemInfo], as_json: bool) -> int:
+    if as_json:
+        print(json.dumps([info.to_json_dict() for info in infos], indent=2))
         return 0
-    if not entries:
+    if not infos:
         print("no registered problems match")
         return 1
-    width = max(len(entry.name) for entry in entries)
-    for entry in entries:
-        marker = {"ok": " ", "xfail": "x", "hard": "!"}[entry.expected]
-        tags = f" [{', '.join(entry.tags)}]" if entry.tags else ""
-        print(f"{marker} {entry.name:<{width}}  {entry.description}{tags}")
-    print(f"\n{len(entries)} problems ('x' = known-xfail, '!' = needs a hand-written proof)")
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        marker = {"ok": " ", "xfail": "x", "hard": "!"}[info.expected]
+        tags = f" [{', '.join(info.tags)}]" if info.tags else ""
+        print(f"{marker} {info.name:<{width}}  {info.description}{tags}")
+    print(f"\n{len(infos)} problems ('x' = known-xfail, '!' = needs a hand-written proof)")
     return 0
 
 
-def _get_entry(name: str) -> RegistryEntry:
-    try:
-        return default_registry().get(name)
-    except KeyError as exc:
-        raise CliError(exc.args[0]) from exc
-
-
-def _cmd_synthesize(args) -> int:
-    from repro.nrc.printer import pretty
-
-    entry = _get_entry(args.name)
-    cache_dir = getattr(args, "cache_dir", None)
-    try:
-        pipeline = pipeline_for_entry(
-            entry,
-            cache_dir=cache_dir,
-            max_depth=args.max_depth,
-            memory_cache=True,
-        )
-    except OSError as exc:
-        raise CliError(f"cannot use cache dir {cache_dir!r}: {exc}") from exc
-    assignments = None
-    if args.verify_scale and entry.instances is not None:
-        assignments = entry.instances(args.verify_scale)
-    try:
-        report = pipeline.run(entry.problem(), assignments)
-    except ReproError as exc:
-        note = ""
-        if entry.expected != "ok":
-            note = f" (a known limitation: this entry is marked {entry.expected!r} in the registry)"
-        raise CliError(f"{type(exc).__name__}: {exc}{note}", code=1) from exc
-    if args.as_json:
-        print(json.dumps(report.to_dict(), indent=2))
+def _render_synthesis(response: api.SynthesisResult, as_json: bool, show_raw: bool) -> int:
+    if as_json:
+        print(response.to_json())
     else:
-        result = report.result
-        print(f"problem {report.problem_name}  (digest {report.digest[:12]}…)")
-        for stage in report.stages:
+        print(f"problem {response.problem}  (digest {response.digest[:12]}…)")
+        for stage in response.stages:
             extra = ""
             if stage.detail:
                 extra = "  " + ", ".join(f"{k}={v}" for k, v in stage.detail.items())
             print(f"  {stage.name:<15} {stage.seconds * 1000:9.2f} ms{extra}")
-        tier = report.cache_tier
-        print(f"  total           {report.total_seconds * 1000:9.2f} ms  (cache: {tier})")
+        print(
+            f"  total           {response.total_seconds * 1000:9.2f} ms  "
+            f"(cache: {response.cache_tier})"
+        )
         print("\nsynthesized definition:")
-        print(pretty(result.expression))
-        if args.raw and result.raw_expression is not None:
+        print(response.display.get("pretty") or response.expression)
+        if show_raw and (response.display.get("raw_pretty") or response.raw_expression):
             print("\nraw (pre-simplification) definition:")
-            print(pretty(result.raw_expression))
-        if report.verification is not None:
-            verification = report.verification
+            print(response.display.get("raw_pretty") or response.raw_expression)
+        if response.verification is not None:
+            verification = response.verification
             print(
                 f"\nverification: {verification.satisfying}/{verification.checked} satisfying "
                 f"instances, {'ok' if verification.ok else 'MISMATCH'}"
             )
-    if report.verification is not None and not report.verification.ok:
+    if response.verification is not None and not response.verification.ok:
         return 1
     return 0
 
 
-def _cmd_verify(args) -> int:
-    entry = _get_entry(args.name)
-    if entry.instances is None:
-        raise CliError(f"problem {args.name!r} has no instance generator; cannot verify")
-    if args.scale < 1:
-        raise CliError("--scale must be at least 1: verifying zero instances verifies nothing")
-    args.verify_scale = args.scale
-    args.cache_dir = None
-    args.raw = False
-    return _cmd_synthesize(args)
-
-
-def _cmd_sweep(args) -> int:
-    registry = default_registry()
-    if args.names:
-        names = args.names
-    elif args.all:
-        names = registry.names()
-    else:
-        names = None  # every sweepable entry
-    summary = run_sweep(
-        names=names,
-        registry=registry,
-        processes=args.processes,
-        timeout=args.timeout,
-        cache_dir=args.cache_dir,
-        max_depth=args.max_depth,
-        verify_scale=args.verify_scale,
-    )
-    if args.as_json:
-        print(json.dumps(summary.as_dict(), indent=2))
-        return 0 if summary.ok else 1
-    width = max(len(outcome.name) for outcome in summary.outcomes)
-    for outcome in summary.outcomes:
-        line = f"{outcome.status:>7}  {outcome.name:<{width}}  {outcome.seconds * 1000:9.1f} ms"
-        if outcome.cache_tier in ("memory", "disk"):
-            line += f"  (cache {outcome.cache_tier})"
-        if outcome.verified is not None:
-            line += f"  verified={outcome.verified}"
-        if outcome.error and outcome.status != "ok":
-            note = " (expected)" if outcome.expected != "ok" else ""
-            line += f"  {outcome.error}{note}"
+def _render_sweep(response: api.SweepResponse, as_json: bool) -> int:
+    if as_json:
+        print(response.to_json())
+        return 0 if response.ok else 1
+    width = max(len(job.name) for job in response.jobs)
+    for job in response.jobs:
+        line = f"{job.status:>7}  {job.name:<{width}}  {job.seconds * 1000:9.1f} ms"
+        if job.cache_tier in ("memory", "disk"):
+            line += f"  (cache {job.cache_tier})"
+        if job.verified is not None:
+            line += f"  verified={job.verified}"
+        if job.error and job.status != "ok":
+            note = " (expected)" if job.expected != "ok" else ""
+            line += f"  {job.error}{note}"
         print(line)
-    counts = ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(response.counts.items()))
     print(
-        f"\n{len(summary.outcomes)} jobs in {summary.wall_seconds:.2f}s "
-        f"on {summary.processes} processes: {counts}, cache hits {summary.cache_hits}"
+        f"\n{len(response.jobs)} jobs in {response.wall_seconds:.2f}s "
+        f"on {response.processes} processes: {counts}, cache hits {response.cache_hits}"
     )
-    if not summary.ok:
-        failed = ", ".join(outcome.name for outcome in summary.unexpected_failures)
+    if not response.ok:
+        failed = ", ".join(
+            job.name for job in response.jobs if job.status != "ok" and job.expected == "ok"
+        )
         print(f"unexpected failures: {failed}", file=sys.stderr)
         return 1
     return 0
 
 
-def _cmd_cache_stats(args) -> int:
-    if not args.cache_dir:
-        from repro.core.interning import intern_cache_stats
-        from repro.nr.columns import shared_interner_stats
-
-        process = {
-            "intern_table": intern_cache_stats(),
-            "shared_value_interner": shared_interner_stats(),
-        }
-        if args.as_json:
-            print(json.dumps({"process": process}, indent=2))
+def _render_cache_stats(stats, as_json: bool) -> int:
+    if isinstance(stats, api.ProcessCacheStats):
+        if as_json:
+            print(stats.to_json())
             return 0
         print("no --cache-dir given; showing this process's in-memory telemetry:")
-        for name, stats in process.items():
-            rendered = ", ".join(f"{key}={value}" for key, value in stats.items())
+        process = stats.to_json_dict()["process"]
+        for name, counters in process.items():
+            rendered = ", ".join(f"{key}={value}" for key, value in counters.items())
             print(f"  {name}: {rendered}")
         return 0
-    entries = disk_entries(args.cache_dir)
-    if args.as_json:
-        print(
-            json.dumps(
-                {
-                    "cache_dir": str(args.cache_dir),
-                    "entries": [entry.as_dict() for entry in entries],
-                    "total_payload_bytes": sum(entry.payload_bytes for entry in entries),
-                },
-                indent=2,
-            )
-        )
+    if as_json:
+        print(stats.to_json())
         return 0
-    if not entries:
-        print(f"{args.cache_dir}: empty cache")
+    if not stats.entries:
+        print(f"{stats.cache_dir}: empty cache")
         return 0
-    for entry in entries:
+    for entry in stats.entries:
         print(
             f"{entry.digest[:12]}…  {entry.name:<28} expr size {entry.expression_size:>4}  "
-            f"proof size {entry.proof_size:>4}  {entry.payload_bytes:>8} bytes"
+            f"proof size {entry.proof_size:>4}  {entry.payload_bytes:>8} bytes  "
+            f"cost {entry.synthesis_seconds * 1000:8.1f} ms"
         )
-    total = sum(entry.payload_bytes for entry in entries)
-    print(f"\n{len(entries)} entries, {total} payload bytes")
+    print(f"\n{len(stats.entries)} entries, {stats.total_payload_bytes} payload bytes")
     return 0
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_list(args) -> int:
+    service = SynthesisService()
+    return _render_problem_list(service.list_problems(tag=args.tag), args.as_json)
+
+
+def _cmd_synthesize(args) -> int:
+    service = SynthesisService()
+    request = api.SynthesizeRequest(
+        problem=args.name,
+        max_depth=args.max_depth,
+        verify_scale=args.verify_scale,
+        cache_dir=getattr(args, "cache_dir", None),
+        # --raw only affects the text rendering; the JSON document is the
+        # stable v1 schema with or without it.
+        include_raw=bool(getattr(args, "raw", False)) and not args.as_json,
+    )
+    response = service.synthesize(request)
+    return _render_synthesis(response, args.as_json, show_raw=bool(getattr(args, "raw", False)))
+
+
+def _cmd_verify(args) -> int:
+    service = SynthesisService()
+    request = api.VerifyRequest(problem=args.name, scale=args.scale, max_depth=args.max_depth)
+    response = service.verify(request)
+    return _render_synthesis(response, args.as_json, show_raw=False)
+
+
+def _cmd_sweep(args) -> int:
+    service = SynthesisService()
+    request = api.SweepRequest(
+        problems=tuple(args.names),
+        include_all=bool(args.all and not args.names),
+        processes=args.processes,
+        timeout=args.timeout,
+        verify_scale=args.verify_scale,
+        cache_dir=args.cache_dir,
+        max_depth=args.max_depth,
+    )
+    return _render_sweep(service.sweep(request), args.as_json)
+
+
+def _cmd_cache_stats(args) -> int:
+    service = SynthesisService()
+    return _render_cache_stats(service.cache_stats(cache_dir=args.cache_dir), args.as_json)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    service = SynthesisService(
+        cache_dir=args.cache_dir,
+        max_workers=args.max_workers,
+        queue_limit=args.queue_limit if args.queue_limit is not None else DEFAULT_QUEUE_LIMIT,
+        default_job_timeout=args.job_timeout,
+    )
+
+    def announce(port: int) -> None:
+        print(
+            f"repro service listening on http://{args.host}:{port} "
+            f"({len(service.registry)} problems, {service.max_workers} workers)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port, ready=announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+# ------------------------------------------------------------------- client
+def _http(url: str, method: str = "GET", payload: Optional[dict] = None) -> dict:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    http_request = urllib_request.Request(url, data=data, headers=headers, method=method)
+    try:
+        with urllib_request.urlopen(http_request) as http_response:
+            return json.loads(http_response.read().decode("utf-8"))
+    except urllib_error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            raise _cli_error(api.ApiError.from_json_dict(json.loads(body))) from exc
+        except (ValueError, KeyError):
+            raise CliError(f"HTTP {exc.code} from {url}: {body.strip()}", code=1) from exc
+    except urllib_error.URLError as exc:
+        raise CliError(
+            f"cannot reach the repro server at {url}: {exc.reason} "
+            f"(is `repro serve` running?)",
+            code=1,
+        ) from exc
+
+
+def _cmd_client(args) -> int:
+    base = args.url.rstrip("/")
+    command = args.client_command
+    if command == "health":
+        print(json.dumps(_http(f"{base}/healthz"), indent=2))
+        return 0
+    if command == "list":
+        url = f"{base}/{api.API_VERSION}/problems"
+        if args.tag:
+            url += "?" + urlencode({"tag": args.tag})
+        infos = [api.ProblemInfo.from_json_dict(entry) for entry in _http(url)]
+        return _render_problem_list(infos, args.as_json)
+    if command == "synthesize":
+        request = api.SynthesizeRequest(
+            problem=args.name,
+            max_depth=args.max_depth,
+            verify_scale=args.verify_scale,
+            timeout=args.timeout,
+        )
+        wait = "0" if args.no_wait else "1"
+        payload = _http(
+            f"{base}/{api.API_VERSION}/synthesize?wait={wait}",
+            method="POST",
+            payload=request.to_json_dict(),
+        )
+        status = api.JobStatus.from_json_dict(payload)
+        if status.state == api.JOB_DONE and status.result is not None and not args.no_wait:
+            return _render_synthesis(status.result, args.as_json, show_raw=False)
+        print(status.to_json())
+        if status.state == api.JOB_FAILED:
+            return 1
+        return 0
+    if command == "job":
+        payload = _http(f"{base}/{api.API_VERSION}/jobs/{quote(args.job_id)}")
+        print(json.dumps(payload, indent=2))
+        return 0
+    if command == "cancel":
+        payload = _http(f"{base}/{api.API_VERSION}/jobs/{quote(args.job_id)}", method="DELETE")
+        print(json.dumps(payload, indent=2))
+        return 0
+    if command == "cache-stats":
+        url = f"{base}/{api.API_VERSION}/cache/stats"
+        if args.cache_dir:
+            url += "?" + urlencode({"cache_dir": args.cache_dir})
+        payload = _http(url)
+        if "process" in payload:
+            stats = api.ProcessCacheStats.from_json_dict(payload)
+        else:
+            stats = api.DiskCacheStats.from_json_dict(payload)
+        return _render_cache_stats(stats, args.as_json)
+    raise CliError(f"unknown client command {command!r}")
 
 
 _COMMANDS = {
@@ -298,6 +446,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "sweep": _cmd_sweep,
     "cache-stats": _cmd_cache_stats,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 
@@ -305,6 +455,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except api.ApiError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return _EXIT_CODES.get(exc.code, 1)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exc.code

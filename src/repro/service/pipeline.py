@@ -40,6 +40,7 @@ from repro.nrc.expr import expr_size
 from repro.nrc.simplify import simplify_with_stats
 from repro.proofs.prooftree import proof_size, rules_used
 from repro.proofs.search import ProofSearch
+from repro.service import api
 from repro.service.cache import SynthesisCache, spec_digest
 from repro.specs.problems import ImplicitDefinitionProblem
 from repro.synthesis.implicit_to_explicit import (
@@ -96,30 +97,64 @@ class PipelineReport:
     def stage_seconds(self) -> Dict[str, float]:
         return {stage.name: stage.seconds for stage in self.stages}
 
-    def to_dict(self, include_expression: bool = True) -> Dict[str, object]:
-        """JSON-ready rendering (used by the CLI's ``--json`` mode)."""
-        payload: Dict[str, object] = {
-            "problem": self.problem_name,
-            "digest": self.digest,
-            "cache_tier": self.cache_tier,
-            "cache_hit": self.cache_hit,
-            "total_seconds": round(self.total_seconds, 6),
-            "stages": [
-                {"name": s.name, "seconds": round(s.seconds, 6), **({"detail": s.detail} if s.detail else {})}
-                for s in self.stages
-            ],
-        }
+    @property
+    def synthesis_seconds(self) -> float:
+        """Wall-time of the recompute-on-miss stages (the cache-eviction cost)."""
+        return sum(
+            stage.seconds
+            for stage in self.stages
+            if stage.name in (STAGE_PROOF_SEARCH, STAGE_EXTRACTION, STAGE_SIMPLIFICATION)
+        )
+
+    def to_response(
+        self, include_expression: bool = True, include_raw: bool = False
+    ) -> api.SynthesisResult:
+        """The typed wire rendering of this run (:mod:`repro.service.api`).
+
+        ``display`` carries the pretty-printed definition for terminal
+        front-ends; it never enters the JSON document.
+        """
+        from repro.nrc.printer import pretty
+
+        stages = tuple(
+            api.StageReport(stage.name, round(stage.seconds, 6), dict(stage.detail))
+            for stage in self.stages
+        )
+        expression = expression_size = result_proof_size = None
+        raw_expression = None
+        display: Dict[str, str] = {}
         if include_expression and self.result is not None:
-            payload["expression"] = str(self.result.expression)
-            payload["expression_size"] = expr_size(self.result.expression)
-            payload["proof_size"] = self.result.proof_size
+            expression = str(self.result.expression)
+            expression_size = expr_size(self.result.expression)
+            result_proof_size = self.result.proof_size
+            display["pretty"] = pretty(self.result.expression)
+            if include_raw and self.result.raw_expression is not None:
+                raw_expression = str(self.result.raw_expression)
+                display["raw_pretty"] = pretty(self.result.raw_expression)
+        verification = None
         if self.verification is not None:
-            payload["verification"] = {
-                "checked": self.verification.checked,
-                "satisfying": self.verification.satisfying,
-                "ok": self.verification.ok,
-            }
-        return payload
+            verification = api.VerificationSummary(
+                checked=self.verification.checked,
+                satisfying=self.verification.satisfying,
+                ok=self.verification.ok,
+            )
+        return api.SynthesisResult(
+            problem=self.problem_name,
+            digest=self.digest,
+            cache_tier=self.cache_tier,
+            total_seconds=round(self.total_seconds, 6),
+            stages=stages,
+            expression=expression,
+            expression_size=expression_size,
+            proof_size=result_proof_size,
+            raw_expression=raw_expression,
+            verification=verification,
+            display=display,
+        )
+
+    def to_dict(self, include_expression: bool = True) -> Dict[str, object]:
+        """JSON-ready rendering, via the typed schema (CLI ``--json`` mode)."""
+        return self.to_response(include_expression).to_json_dict()
 
 
 class SynthesisPipeline:
@@ -221,7 +256,12 @@ class SynthesisPipeline:
         if self.cache is not None:
             if not report.cache_hit:
                 start = time.perf_counter()
-                self.cache.store(problem, result, digest=report.digest)
+                self.cache.store(
+                    problem,
+                    result,
+                    digest=report.digest,
+                    cost_seconds=report.synthesis_seconds,
+                )
                 stages.append(
                     StageTiming(
                         STAGE_CACHE_STORE,

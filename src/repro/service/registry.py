@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.logic.terms import Var
 from repro.nr.values import Value
+from repro.service import api
 from repro.specs import examples
 from repro.specs.problems import ImplicitDefinitionProblem
 
@@ -56,6 +57,16 @@ class RegistryEntry:
 
     def problem(self) -> ImplicitDefinitionProblem:
         return self.factory()
+
+    def describe(self) -> api.ProblemInfo:
+        """The typed wire rendering of this entry (`/v1/problems`, `repro list`)."""
+        return api.ProblemInfo(
+            name=self.name,
+            description=self.description,
+            tags=self.tags,
+            expected=self.expected,
+            has_instances=self.instances is not None,
+        )
 
 
 class ProblemRegistry:
@@ -173,6 +184,13 @@ def build_default_registry(
         "Selection over an identity view; interpolation is a known limitation (DESIGN.md §7).",
         tags=("paper", "flat"),
         expected=EXPECTED_XFAIL,
+        # A depth-5 search already reaches the proof whose interpolant
+        # extraction hits the known limitation; deeper budgets only let the
+        # search wander through larger proofs of the same dead end (minutes
+        # of wall-time at depth 12+).  Bounding the depth keeps the xfail
+        # fast and — together with the deterministic candidate enumeration in
+        # proofs/search.py — seed-stable.
+        max_depth=5,
     )
     registry.register(
         "example_4_1",

@@ -1,0 +1,617 @@
+"""The synthesis service core and its asyncio HTTP front-end.
+
+:class:`SynthesisService` is the transport-agnostic heart of the service
+layer: it owns the problem registry, the content-addressed result cache and a
+**bounded async job engine** (submit → poll/await → result), and exposes the
+typed contracts of :mod:`repro.service.api` to every front-end.  The CLI
+calls its synchronous methods in-process; the HTTP server speaks the same
+objects over the wire, so ``repro synthesize`` and ``POST /v1/synthesize``
+cannot drift apart.
+
+Job engine invariants
+=====================
+
+* **The event loop never blocks on proof search.**  Each job runs in its own
+  worker process (:func:`repro.service.workers.run_request_in_process` — the
+  same spawn/poll/terminate machinery as the sweep pool), awaited through an
+  executor thread.  The loop stays free to answer ``/healthz``, job polls and
+  further submissions while searches run.
+* **Warm-cache submissions never enter the queue.**  ``submit`` peeks the
+  cache first (:meth:`SynthesisCache.peek` — no stats mutation); a hit is
+  served inline as an already-``done`` job, concurrent hits cost a dict
+  lookup each, and the worker slots stay reserved for cold traffic.
+* **The queue is bounded.**  At most ``queue_limit`` jobs may be queued or
+  running; submissions past the bound fail fast with the structured
+  ``queue_full`` error instead of growing an unbounded backlog.
+* **Jobs are cancellable and deadlined.**  ``cancel`` terminates a running
+  job's worker process; a per-job timeout (request field or service default)
+  does the same and surfaces the structured ``timeout`` error.
+* **Results flow back into the cache.**  A cold job's synthesized AST rides
+  home over the result pipe and is adopted into the parent's memory tier, so
+  the next identical submission is a warm hit even without a disk tier.
+
+The HTTP layer is a deliberately small stdlib-only HTTP/1.1 implementation
+over ``asyncio.start_server`` (one JSON document per request/response,
+``Connection: close``) — enough surface for the v1 API without pulling in a
+framework the environment does not ship:
+
+=========  ==============================  =====================================
+method     path                            body / response
+=========  ==============================  =====================================
+GET        ``/healthz``                    liveness + job/cache counters
+GET        ``/v1/problems[?tag=T]``        list of :class:`api.ProblemInfo`
+POST       ``/v1/synthesize[?wait=1]``     :class:`api.SynthesizeRequest` →
+                                           :class:`api.JobStatus` (202 while
+                                           queued, 200 when finished)
+GET        ``/v1/jobs/<id>``               :class:`api.JobStatus`
+DELETE     ``/v1/jobs/<id>``               cancel → :class:`api.JobStatus`
+GET        ``/v1/cache/stats[?cache_dir]`` :class:`api.DiskCacheStats` /
+                                           :class:`api.ProcessCacheStats`
+=========  ==============================  =====================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service import api
+from repro.service.cache import SynthesisCache, disk_entries
+from repro.service.registry import ProblemRegistry, RegistryEntry, default_registry
+from repro.service.workers import (
+    execute_synthesize_request,
+    run_request_in_process,
+    run_sweep,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8075
+#: Bound on jobs queued + running; past it ``submit`` fails with queue_full.
+DEFAULT_QUEUE_LIMIT = 64
+#: Finished jobs retained for polling before the oldest are forgotten.
+FINISHED_JOB_RETENTION = 256
+
+
+@dataclass
+class _Job:
+    """Mutable engine-side record of one async job (snapshots go out typed)."""
+
+    id: str
+    request: api.SynthesizeRequest
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[api.SynthesisResult] = None
+    error: Optional[api.ErrorInfo] = None
+    task: Optional[asyncio.Task] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done_event: Optional[asyncio.Event] = None
+
+    @property
+    def active(self) -> bool:
+        return self.state in (api.JOB_QUEUED, api.JOB_RUNNING)
+
+
+class SynthesisService:
+    """The service core: registry + cache + bounded async job engine.
+
+    Synchronous methods (``list_problems``/``synthesize``/``verify``/
+    ``sweep``/``cache_stats``) run inline and are what the CLI uses; the
+    ``async`` job methods (``submit``/``job_status``/``wait``/``cancel``)
+    power the HTTP front-end.  Both speak :mod:`repro.service.api` types and
+    raise :class:`~repro.service.api.ApiError` exclusively.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ProblemRegistry] = None,
+        cache: Optional[SynthesisCache] = None,
+        cache_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_job_timeout: Optional[float] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        if cache is not None:
+            self.cache = cache
+        else:
+            try:
+                self.cache = SynthesisCache(disk_dir=self.cache_dir)
+            except OSError as exc:
+                raise api.invalid_request(
+                    f"cannot use cache dir {self.cache_dir!r}: {exc}"
+                ) from exc
+        self.max_workers = max_workers or (os.cpu_count() or 2)
+        self.queue_limit = queue_limit
+        self.default_job_timeout = default_job_timeout
+        self.jobs_enqueued = 0
+        self.warm_submissions = 0
+        self._jobs: Dict[str, _Job] = {}
+        self._ids = itertools.count(1)
+        self._worker_slots: Optional[asyncio.Semaphore] = None
+
+    # ------------------------------------------------------------ sync methods
+    def _entry(self, name: str) -> RegistryEntry:
+        try:
+            return self.registry.get(name)
+        except KeyError as exc:
+            raise api.unknown_problem(exc.args[0]) from exc
+
+    def list_problems(self, tag: Optional[str] = None) -> List[api.ProblemInfo]:
+        return [entry.describe() for entry in self.registry.entries(tag=tag)]
+
+    def synthesize(self, request: api.SynthesizeRequest) -> api.SynthesisResult:
+        """Run one request inline (the CLI path; blocks until finished)."""
+        response, _, _ = execute_synthesize_request(
+            request, registry=self.registry, cache=self.cache
+        )
+        return response
+
+    def verify(self, request: api.VerifyRequest) -> api.SynthesisResult:
+        entry = self._entry(request.problem)
+        if entry.instances is None:
+            raise api.invalid_request(
+                f"problem {request.problem!r} has no instance generator; cannot verify"
+            )
+        return self.synthesize(request.to_synthesize())
+
+    def sweep(self, request: api.SweepRequest) -> api.SweepResponse:
+        if request.problems:
+            names = list(request.problems)
+        elif request.include_all:
+            names = self.registry.names()
+        else:
+            names = None  # every sweepable entry
+        summary = run_sweep(
+            names=names,
+            registry=self.registry,
+            processes=request.processes,
+            timeout=request.timeout,
+            cache_dir=request.cache_dir,
+            max_depth=request.max_depth,
+            verify_scale=request.verify_scale,
+        )
+        return summary.to_api()
+
+    def cache_stats(self, cache_dir: Optional[str] = None):
+        """Disk inventory for ``cache_dir``, else this process's telemetry."""
+        if cache_dir:
+            entries = disk_entries(cache_dir)
+            return api.DiskCacheStats(
+                cache_dir=str(cache_dir),
+                entries=tuple(entry.to_api() for entry in entries),
+                total_payload_bytes=sum(entry.payload_bytes for entry in entries),
+            )
+        from repro.core.interning import intern_cache_stats
+        from repro.nr.columns import shared_interner_stats
+
+        return api.ProcessCacheStats(
+            intern_table=intern_cache_stats(),
+            shared_value_interner=shared_interner_stats(),
+        )
+
+    def health(self) -> Dict[str, object]:
+        counts = {state: 0 for state in api.JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return {
+            "status": "ok",
+            "version": api.API_VERSION,
+            "problems": len(self.registry),
+            "jobs": counts,
+            "jobs_enqueued": self.jobs_enqueued,
+            "warm_submissions": self.warm_submissions,
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------- job engine
+    def _snapshot(self, job: _Job) -> api.JobStatus:
+        return api.JobStatus(
+            id=job.id,
+            state=job.state,
+            problem=job.request.problem,
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            result=job.result,
+            error=job.error,
+        )
+
+    def _get_job(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise api.unknown_job(job_id)
+        return job
+
+    def _prune_finished(self) -> None:
+        finished = [job for job in self._jobs.values() if not job.active]
+        if len(finished) <= FINISHED_JOB_RETENTION:
+            return
+        finished.sort(key=lambda job: job.finished_at or job.submitted_at)
+        for job in finished[: len(finished) - FINISHED_JOB_RETENTION]:
+            del self._jobs[job.id]
+
+    def _warm_response(
+        self, request: api.SynthesizeRequest, entry: RegistryEntry
+    ) -> Optional[api.SynthesisResult]:
+        """Serve ``request`` from the cache if that is cheap and sufficient.
+
+        Only cache-tier traffic qualifies: a verification family or a custom
+        cache directory means real work that belongs on a worker.  The peek
+        is mutation-free; on a hit the inline pipeline run is just validate +
+        lookup (microseconds), which is safe on the event loop.
+        """
+        if request.verify_scale or request.cache_dir:
+            return None
+        problem = entry.problem()
+        if self.cache.peek(problem) is None:
+            return None
+        # Confirm the hit before running anything inline: a peeked disk entry
+        # can be corrupt or concurrently evicted, and falling through to a
+        # cold proof search here would block the event loop for seconds.
+        # ``lookup`` promotes the entry to the memory tier, so the inline
+        # pipeline run below is guaranteed a memory hit (nothing can evict
+        # it between these two statements — no awaits, same thread).
+        result, _tier = self.cache.lookup(problem)
+        if result is None:
+            return None
+        response, _, _ = execute_synthesize_request(
+            request, registry=self.registry, cache=self.cache
+        )
+        return response
+
+    async def submit(self, request: api.SynthesizeRequest) -> api.JobStatus:
+        """Enqueue a job — or answer it inline when the cache is warm."""
+        entry = self._entry(request.problem)
+        job_id = f"job-{next(self._ids):06d}"
+        now = time.time()
+        warm = self._warm_response(request, entry)
+        if warm is not None:
+            self.warm_submissions += 1
+            job = _Job(
+                id=job_id,
+                request=request,
+                state=api.JOB_DONE,
+                submitted_at=now,
+                started_at=now,
+                finished_at=time.time(),
+                result=warm,
+            )
+            self._jobs[job_id] = job
+            self._prune_finished()
+            return self._snapshot(job)
+        active = sum(1 for job in self._jobs.values() if job.active)
+        if active >= self.queue_limit:
+            raise api.queue_full(self.queue_limit)
+        job = _Job(
+            id=job_id,
+            request=request,
+            state=api.JOB_QUEUED,
+            submitted_at=now,
+            done_event=asyncio.Event(),
+        )
+        self._jobs[job_id] = job
+        self.jobs_enqueued += 1
+        if self._worker_slots is None:
+            self._worker_slots = asyncio.Semaphore(self.max_workers)
+        job.task = asyncio.create_task(self._run_job(job))
+        self._prune_finished()
+        return self._snapshot(job)
+
+    async def _run_job(self, job: _Job) -> None:
+        try:
+            async with self._worker_slots:
+                if job.cancel_event.is_set():
+                    self._finish(job, api.JOB_CANCELLED, error=api.job_cancelled(job.id).info)
+                    return
+                job.state = api.JOB_RUNNING
+                job.started_at = time.time()
+                loop = asyncio.get_running_loop()
+                runner = partial(
+                    run_request_in_process,
+                    job.request,
+                    cache_dir=job.request.cache_dir or self.cache_dir,
+                    timeout=job.request.timeout or self.default_job_timeout,
+                    cancel=job.cancel_event,
+                )
+                try:
+                    response, result = await loop.run_in_executor(None, runner)
+                except api.ApiError as exc:
+                    state = api.JOB_CANCELLED if exc.code == "cancelled" else api.JOB_FAILED
+                    self._finish(job, state, error=exc.info)
+                    return
+                except Exception as exc:  # noqa: BLE001 - jobs never crash the engine
+                    self._finish(
+                        job,
+                        api.JOB_FAILED,
+                        error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
+                    )
+                    return
+                self._adopt_result(job, result)
+                self._finish(job, api.JOB_DONE, result=response)
+        except asyncio.CancelledError:
+            if not job.finished_at:
+                self._finish(job, api.JOB_CANCELLED, error=api.job_cancelled(job.id).info)
+
+    def _adopt_result(self, job: _Job, result) -> None:
+        """Warm the parent's memory tier with the worker's synthesized AST."""
+        if result is None:
+            return
+        try:
+            problem = self.registry.get(job.request.problem).problem()
+            self.cache.store_memory(problem, result)
+        except Exception:  # noqa: BLE001 - cache warming is best-effort
+            pass
+
+    def _finish(self, job: _Job, state: str, result=None, error=None) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_at = time.time()
+        if job.done_event is not None:
+            job.done_event.set()
+
+    async def job_status(self, job_id: str) -> api.JobStatus:
+        return self._snapshot(self._get_job(job_id))
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> api.JobStatus:
+        """Block until the job finishes (or ``timeout`` elapses), then snapshot."""
+        job = self._get_job(job_id)
+        if job.active and job.done_event is not None:
+            try:
+                await asyncio.wait_for(job.done_event.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass  # return the still-running snapshot
+        return self._snapshot(job)
+
+    async def cancel(self, job_id: str) -> api.JobStatus:
+        job = self._get_job(job_id)
+        if job.state == api.JOB_QUEUED:
+            job.cancel_event.set()
+            if job.task is not None:
+                job.task.cancel()
+            self._finish(job, api.JOB_CANCELLED, error=api.job_cancelled(job.id).info)
+        elif job.state == api.JOB_RUNNING:
+            # The executor thread sees the event, terminates the worker
+            # process and resolves the job as cancelled.
+            job.cancel_event.set()
+        return self._snapshot(job)
+
+
+# --------------------------------------------------------------- HTTP plumbing
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Request bodies past this size are rejected (no streaming uploads in v1).
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str]
+    body: bytes
+
+
+async def _read_http_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
+    request_line = await reader.readline()
+    if not request_line or not request_line.strip():
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise api.invalid_request(f"malformed HTTP request line {request_line!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise api.invalid_request("Content-Length is not an integer")
+    if length < 0:
+        raise api.invalid_request("Content-Length must be non-negative")
+    if length > MAX_BODY_BYTES:
+        raise api.invalid_request(f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+    return _HttpRequest(method=method.upper(), path=split.path, query=query, body=body)
+
+
+def _truthy(value: Optional[str]) -> bool:
+    return (value or "").lower() in ("1", "true", "yes", "on")
+
+
+async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int, object]:
+    path, method = request.path, request.method
+    v = f"/{api.API_VERSION}"
+    if path == "/healthz":
+        if method != "GET":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        return 200, service.health()
+    if path == f"{v}/problems":
+        if method != "GET":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        infos = service.list_problems(tag=request.query.get("tag"))
+        return 200, [info.to_json_dict() for info in infos]
+    if path == f"{v}/synthesize":
+        if method != "POST":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        synth_request = api.SynthesizeRequest.from_json(request.body.decode("utf-8") or "{}")
+        status = await service.submit(synth_request)
+        if _truthy(request.query.get("wait")) and not status.finished:
+            status = await service.wait(status.id)
+        return _job_http_status(status), status.to_json_dict()
+    if path.startswith(f"{v}/jobs/"):
+        job_id = path[len(f"{v}/jobs/") :]
+        if method == "GET":
+            status = await service.job_status(job_id)
+            return _job_http_status(status, poll=True), status.to_json_dict()
+        if method == "DELETE":
+            status = await service.cancel(job_id)
+            return 200, status.to_json_dict()
+        raise api.ApiError("not_found", f"no route for {method} {path}")
+    if path == f"{v}/cache/stats":
+        if method != "GET":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        stats = service.cache_stats(cache_dir=request.query.get("cache_dir"))
+        return 200, stats.to_json_dict()
+    raise api.ApiError("not_found", f"no route for {method} {path}")
+
+
+def _job_http_status(status: api.JobStatus, poll: bool = False) -> int:
+    """HTTP status for a job snapshot: 202 while in flight, the structured
+    error's status once failed (polls always 200 — the *resource* exists)."""
+    if not status.finished:
+        return 200 if poll else 202
+    if poll or status.error is None:
+        return 200
+    return status.error.http_status
+
+
+async def _handle_connection(
+    service: SynthesisService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    status, payload = 500, api.ApiError("internal", "unhandled server error").to_json_dict()
+    try:
+        try:
+            request = await _read_http_request(reader)
+            if request is None:
+                return
+            status, payload = await _route(service, request)
+        except api.ApiError as exc:
+            status, payload = exc.http_status, exc.to_json_dict()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the server
+            error = api.ApiError("internal", f"{type(exc).__name__}: {exc}")
+            status, payload = error.http_status, error.to_json_dict()
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+    except ConnectionError:
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve(
+    service: SynthesisService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    ready=None,
+) -> None:
+    """Serve the v1 HTTP API forever (``python -m repro serve``).
+
+    ``ready`` — optional callable invoked with the bound port once the socket
+    is listening (port 0 binds an ephemeral port; tests use this).
+    """
+    server = await asyncio.start_server(partial(_handle_connection, service), host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound_port)
+    async with server:
+        await server.serve_forever()
+
+
+class BackgroundServer:
+    """The HTTP front-end on a daemon thread — tests and embedded callers.
+
+    ``with BackgroundServer(service) as handle: urlopen(handle.url + ...)``.
+    Binds an ephemeral port by default; ``url`` is available after start.
+    """
+
+    def __init__(
+        self,
+        service: Optional[SynthesisService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service or SynthesisService()
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._listening = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        if not self._listening.wait(timeout=30):
+            raise RuntimeError("background server did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(f"background server failed to start: {self._startup_error}")
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._listening.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            partial(_handle_connection, self.service), self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._listening.set()
+        async with server:
+            await self._stop.wait()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

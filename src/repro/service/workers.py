@@ -28,16 +28,19 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.nrc.expr import expr_size
 from repro.proofs.search import ProofSearch
+from repro.service import api
 from repro.service.cache import SynthesisCache
-from repro.service.pipeline import SynthesisPipeline
+from repro.service.pipeline import PipelineReport, SynthesisPipeline
 from repro.service.registry import EXPECTED_OK, ProblemRegistry, RegistryEntry, default_registry
+from repro.synthesis.implicit_to_explicit import SynthesisResult
 
 #: Default verification family size when a sweep verifies (``scale`` rows).
-DEFAULT_VERIFY_SCALE = 24
+DEFAULT_VERIFY_SCALE = api.DEFAULT_VERIFY_SCALE
 
 
 @dataclass
@@ -65,8 +68,12 @@ class JobOutcome:
         """A failure on an entry that was expected to synthesize cleanly."""
         return self.status != "ok" and self.expected == EXPECTED_OK
 
+    def to_api(self) -> api.SweepOutcome:
+        """The typed wire rendering of this outcome (:mod:`repro.service.api`)."""
+        return api.SweepOutcome(**self.__dict__)
+
     def as_dict(self) -> Dict[str, object]:
-        return dict(self.__dict__)
+        return self.to_api().to_json_dict()
 
 
 @dataclass
@@ -96,15 +103,154 @@ class SweepSummary:
     def ok(self) -> bool:
         return not self.unexpected_failures
 
+    def to_api(self) -> api.SweepResponse:
+        """The typed wire rendering of this sweep (:mod:`repro.service.api`)."""
+        return api.SweepResponse(
+            wall_seconds=round(self.wall_seconds, 6),
+            processes=self.processes,
+            counts=self.counts,
+            cache_hits=self.cache_hits,
+            ok=self.ok,
+            jobs=tuple(outcome.to_api() for outcome in self.outcomes),
+        )
+
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "wall_seconds": round(self.wall_seconds, 6),
-            "processes": self.processes,
-            "counts": self.counts,
-            "cache_hits": self.cache_hits,
-            "ok": self.ok,
-            "jobs": [outcome.as_dict() for outcome in self.outcomes],
-        }
+        return self.to_api().to_json_dict()
+
+
+# ----------------------------------------------------- typed request execution
+def execute_synthesize_request(
+    request: api.SynthesizeRequest,
+    registry: Optional[ProblemRegistry] = None,
+    cache: Optional[SynthesisCache] = None,
+) -> Tuple[api.SynthesisResult, SynthesisResult, PipelineReport]:
+    """Run one typed :class:`~repro.service.api.SynthesizeRequest` inline.
+
+    The single execution body behind every transport: the CLI's
+    :class:`~repro.service.server.SynthesisService` calls it in-process,
+    worker processes call it via :func:`run_request_in_process`.  Failures
+    surface as the structured :class:`~repro.service.api.ApiError` taxonomy —
+    never raw registry ``KeyError`` or :class:`~repro.errors.ReproError`.
+
+    Returns ``(wire_response, result_object, report)`` so callers can both
+    serialize the outcome and adopt the synthesized AST into their own cache.
+    """
+    registry = registry or default_registry()
+    try:
+        entry = registry.get(request.problem)
+    except KeyError as exc:
+        raise api.unknown_problem(exc.args[0]) from exc
+    if request.cache_dir:
+        try:
+            cache = SynthesisCache(disk_dir=request.cache_dir)
+        except OSError as exc:
+            raise api.invalid_request(
+                f"cannot use cache dir {request.cache_dir!r}: {exc}"
+            ) from exc
+    depth = entry.max_depth if request.max_depth is None else request.max_depth
+    pipeline = SynthesisPipeline(
+        cache=cache, search_factory=lambda: ProofSearch(max_depth=depth)
+    )
+    assignments = None
+    if request.verify_scale and entry.instances is not None:
+        assignments = entry.instances(request.verify_scale)
+    try:
+        report = pipeline.run(entry.problem(), assignments)
+    except api.ApiError:
+        raise
+    except ReproError as exc:
+        raise api.synthesis_failure(exc, entry.expected) from exc
+    response = report.to_response(include_raw=request.include_raw)
+    return response, report.result, report
+
+
+def _request_child(payload: Dict[str, object], options: Dict[str, object], conn) -> None:
+    """Worker-process entry point for one typed request.
+
+    Ships back a tagged tuple: ``("ok", response_json, result_ast)`` on
+    success (the AST rides along so the parent can warm its memory tier),
+    ``("api_error", error_json)`` for structured failures, and
+    ``("internal_error", message)`` for anything unexpected.
+    """
+    try:
+        request = api.SynthesizeRequest.from_json_dict(payload)
+        # Same cache policy as the CLI's in-process service: the disk tier
+        # when a directory is configured, a process-local memory tier
+        # otherwise — so a worker-run report shows the same stage sequence
+        # ("cache-lookup: miss" included) as an inline run.
+        cache_dir = options.get("cache_dir")
+        cache = SynthesisCache(disk_dir=cache_dir) if cache_dir else SynthesisCache()
+        response, result, _ = execute_synthesize_request(request, cache=cache)
+        conn.send(("ok", response.to_json_dict(), result))
+    except api.ApiError as exc:
+        conn.send(("api_error", exc.to_json_dict()))
+    except Exception as exc:  # noqa: BLE001 - the parent re-raises as ApiError
+        conn.send(("internal_error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+def run_request_in_process(
+    request: api.SynthesizeRequest,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    cancel=None,
+    poll_interval: float = 0.05,
+) -> Tuple[api.SynthesisResult, Optional[SynthesisResult]]:
+    """Run ``request`` in its own worker process; block until it resolves.
+
+    Designed to be called from an executor thread by the async job engine:
+    proof search happens in a killable child (same isolation properties as
+    the sweep pool), while this thread polls the result pipe, the optional
+    ``cancel`` event (any object with ``is_set()``) and the deadline.  On
+    timeout/cancellation the child is ``terminate()``-d and the matching
+    structured :class:`~repro.service.api.ApiError` is raised.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_request_child,
+        args=(request.to_json_dict(), {"cache_dir": cache_dir}, child_conn),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    message = None
+    try:
+        while True:
+            if parent_conn.poll(poll_interval):
+                try:
+                    message = parent_conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                break
+            if not process.is_alive():
+                # The child may have sent its result and exited between the
+                # poll above and this liveness check; drain before declaring
+                # it dead (same race the sweep loop handles).
+                if parent_conn.poll(0.5):
+                    try:
+                        message = parent_conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                break
+            if cancel is not None and cancel.is_set():
+                process.terminate()
+                raise api.ApiError("cancelled", "job was cancelled while running")
+            if deadline is not None and time.monotonic() > deadline:
+                process.terminate()
+                raise api.job_timeout(timeout)
+    finally:
+        process.join()
+        parent_conn.close()
+    if message is None:
+        raise api.ApiError("internal", f"worker died with exit code {process.exitcode}")
+    kind = message[0]
+    if kind == "ok":
+        return api.SynthesisResult.from_json_dict(message[1]), message[2]
+    if kind == "api_error":
+        raise api.ApiError.from_json_dict(message[1])
+    raise api.ApiError("internal", str(message[1]))
 
 
 # ---------------------------------------------------------------- job bodies

@@ -182,6 +182,81 @@ def test_capacity_must_be_positive():
         SynthesisCache(capacity=0)
 
 
+def test_sidecar_records_synthesis_cost(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    digest = cache.store(problem, _result(problem), cost_seconds=1.25)
+    raw = json.loads((tmp_path / f"{digest}.json").read_text())
+    assert raw["synthesis_seconds"] == 1.25
+    assert disk_entries(tmp_path)[0].synthesis_seconds == 1.25
+
+
+def test_sidecars_without_cost_field_read_as_zero(tmp_path):
+    # Entries written before the cost field existed must stay readable (and
+    # be treated as maximally cheap to recompute).
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    digest = cache.store(problem, _result(problem), cost_seconds=3.0)
+    sidecar = tmp_path / f"{digest}.json"
+    raw = json.loads(sidecar.read_text())
+    del raw["synthesis_seconds"]
+    sidecar.write_text(json.dumps(raw))
+    entries = disk_entries(tmp_path)
+    assert entries[0].synthesis_seconds == 0.0
+
+
+def test_maintain_evicts_cheapest_disk_entries_first(tmp_path):
+    problems = [examples.identity_view(), examples.union_view(), examples.intersection_view()]
+    costs = [5.0, 0.01, 3.0]  # union_view is by far the cheapest to recompute
+    cache = SynthesisCache(disk_dir=tmp_path, disk_entry_bound=2)
+    for problem, cost in zip(problems, costs):
+        cache.store(problem, _result(problem), cost_seconds=cost)
+    assert len(disk_entries(tmp_path)) == 3
+    cache.maintain()
+    survivors = {entry.name for entry in disk_entries(tmp_path)}
+    assert survivors == {"identity_view", "intersection_view"}
+    assert cache.stats.disk_evictions == 1
+    # A second maintain with nothing new stored does not rescan or evict.
+    cache.maintain()
+    assert cache.stats.disk_evictions == 1
+
+
+def test_maintain_respects_the_payload_byte_bound(tmp_path):
+    problems = [examples.identity_view(), examples.union_view()]
+    cache = SynthesisCache(disk_dir=tmp_path, disk_entry_bound=None, disk_payload_bound=1)
+    cache.store(problems[0], _result(problems[0]), cost_seconds=0.5)
+    cache.store(problems[1], _result(problems[1]), cost_seconds=2.0)
+    cache.maintain()
+    # Both entries exceed one byte together; the cheaper one is evicted
+    # first, and eviction stops when a single entry remains over-budget
+    # only if the bound still demands it — here everything cheap must go.
+    survivors = [entry.name for entry in disk_entries(tmp_path)]
+    assert survivors == [] or survivors == ["union_view"]
+    assert cache.stats.disk_evictions >= 1
+
+
+def test_peek_is_mutation_free(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    assert cache.peek(problem) is None
+    before = cache.stats.as_dict()
+    cache.store(problem, _result(problem))
+    assert cache.peek(problem) == "memory"
+    fresh = SynthesisCache(disk_dir=tmp_path)
+    assert fresh.peek(problem) == "disk"
+    # Peeking never counts as a hit or a miss.
+    assert fresh.stats.hits == 0 and fresh.stats.misses == 0
+    assert cache.stats.misses == before["misses"] + 0
+
+
+def test_store_memory_populates_only_the_lru(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path)
+    cache.store_memory(problem, _result(problem))
+    assert cache.peek(problem) == "memory"
+    assert disk_entries(tmp_path) == []
+
+
 def test_value_interner_stats_and_memo_clearing():
     from repro.nr.columns import ValueInterner
 

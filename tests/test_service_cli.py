@@ -148,3 +148,76 @@ def test_cache_dir_pointing_at_a_file_is_a_clean_error(capsys, tmp_path):
 def test_parser_requires_a_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# --------------------------------------------------------- serve/client parity
+@pytest.fixture(scope="module")
+def live_server():
+    from repro.service.server import BackgroundServer, SynthesisService
+
+    with BackgroundServer(SynthesisService()) as handle:
+        yield handle
+
+
+def test_client_list_matches_local_list_byte_for_byte(capsys, live_server):
+    code, local_out, _ = run_cli(capsys, "list", "--json")
+    assert code == 0
+    code, remote_out, _ = run_cli(
+        capsys, "client", "--url", live_server.url, "list", "--json"
+    )
+    assert code == 0
+    assert remote_out == local_out
+
+
+def test_client_synthesize_matches_local_json_schema(capsys, live_server):
+    code, local_out, _ = run_cli(capsys, "synthesize", "union_of_3_views", "--json")
+    assert code == 0
+    code, remote_out, _ = run_cli(
+        capsys, "client", "--url", live_server.url, "synthesize", "union_of_3_views", "--json"
+    )
+    assert code == 0
+    local, remote = json.loads(local_out), json.loads(remote_out)
+    # Same document schema in the same order; timings differ by nature.
+    assert list(local) == list(remote)
+    for key in ("problem", "digest", "expression", "expression_size", "proof_size"):
+        assert local[key] == remote[key], key
+    assert [stage["name"] for stage in local["stages"]] == [
+        stage["name"] for stage in remote["stages"]
+    ]
+
+
+def test_client_health_and_job_polling(capsys, live_server):
+    code, out, _ = run_cli(capsys, "client", "--url", live_server.url, "health")
+    assert code == 0
+    assert json.loads(out)["status"] == "ok"
+
+    code, out, _ = run_cli(
+        capsys, "client", "--url", live_server.url, "synthesize", "identity_view", "--no-wait"
+    )
+    assert code == 0
+    job_id = json.loads(out)["id"]
+    code, out, _ = run_cli(capsys, "client", "--url", live_server.url, "job", job_id)
+    assert code == 0
+    assert json.loads(out)["state"] in ("queued", "running", "done")
+
+
+def test_client_error_taxonomy_maps_to_exit_codes(capsys, live_server):
+    code, _, err = run_cli(
+        capsys, "client", "--url", live_server.url, "synthesize", "not_a_problem"
+    )
+    assert code == 2
+    assert "unknown problem" in err
+
+    code, _, err = run_cli(
+        capsys, "client", "--url", live_server.url, "synthesize", "selection_view"
+    )
+    assert code == 1
+    assert "InterpolationError" in err and "'xfail'" in err
+
+
+def test_client_unreachable_server_is_a_clean_error(capsys):
+    code, _, err = run_cli(
+        capsys, "client", "--url", "http://127.0.0.1:9", "synthesize", "union_view"
+    )
+    assert code == 1
+    assert "cannot reach" in err

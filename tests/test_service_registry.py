@@ -91,6 +91,39 @@ def test_duplicate_registration_rejected():
         registry.add(entry)
 
 
+def test_selection_view_xfail_is_seed_stable():
+    """The known-xfail entry must fail fast with InterpolationError on every
+    PYTHONHASHSEED (the pre-seed flake: hash-order-dependent candidate
+    enumeration made some seeds hang for minutes or surface a different
+    error class).  Fixed by deterministic enumeration in proofs/search.py
+    plus the bounded max_depth on the registry entry."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    script = (
+        "from repro.service.registry import default_registry\n"
+        "from repro.service.workers import pipeline_for_entry\n"
+        "entry = default_registry().get('selection_view')\n"
+        "assert entry.max_depth <= 6, entry.max_depth\n"
+        "try:\n"
+        "    pipeline_for_entry(entry).run(entry.problem())\n"
+        "except Exception as exc:\n"
+        "    print(type(exc).__name__)\n"
+    )
+    for seed in ("11", "12"):  # the seeds that historically hung
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "InterpolationError", (seed, proc.stdout, proc.stderr)
+
+
 def test_build_default_registry_scales_are_configurable():
     registry = build_default_registry(union_widths=(7,), intersection_widths=(), tower_widths=(), chain_lengths=())
     assert "union_of_7_views" in registry

@@ -33,6 +33,7 @@ returned by :func:`shared_interner`.
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import bisect_left
 from heapq import merge as _heapq_merge
@@ -51,9 +52,18 @@ _EMPTY_ARRAY = array("q")
 # =====================================================================
 # Sorted-id-array merge kernels
 # =====================================================================
+#
+# The merge algebra is deliberately a *narrow interface*: three functions over
+# canonical (sorted, duplicate-free) ``array('q')`` id arrays.  The pure-Python
+# kernels below are the reference semantics; an optional numpy backend
+# (:func:`set_merge_backend`) can be swapped in behind the same three names.
+# Both backends produce identical canonical arrays — set union/difference of
+# sorted unique sequences has exactly one sorted unique answer — so every
+# downstream interned id is the same under either backend, and the
+# ``BATCH_EVALUATORS`` differential harness locks them together.
 
 
-def merge_union(left: array, right: array) -> array:
+def _merge_union_python(left: array, right: array) -> array:
     """Union of two sorted duplicate-free id arrays, one linear pass."""
     if not left:
         return right
@@ -82,7 +92,7 @@ def merge_union(left: array, right: array) -> array:
     return out
 
 
-def merge_diff(left: array, right: array) -> array:
+def _merge_diff_python(left: array, right: array) -> array:
     """Difference ``left \\ right`` of sorted duplicate-free id arrays."""
     if not left or not right:
         return left
@@ -105,14 +115,14 @@ def merge_diff(left: array, right: array) -> array:
     return out
 
 
-def merge_many(arrays: Sequence[array]) -> array:
+def _merge_many_python(arrays: Sequence[array]) -> array:
     """K-way union of sorted duplicate-free id arrays (heap merge + dedup)."""
     if not arrays:
         return _EMPTY_ARRAY
     if len(arrays) == 1:
         return arrays[0]
     if len(arrays) == 2:
-        return merge_union(arrays[0], arrays[1])
+        return _merge_union_python(arrays[0], arrays[1])
     out = array("q")
     append = out.append
     previous = None
@@ -120,6 +130,182 @@ def merge_many(arrays: Sequence[array]) -> array:
         if vid != previous:
             append(vid)
             previous = vid
+    return out
+
+
+def _merge_union_numpy(left: array, right: array) -> array:
+    if not left:
+        return right
+    if not right:
+        return left
+    np = _NUMPY
+    merged = np.union1d(np.frombuffer(left, dtype=np.int64), np.frombuffer(right, dtype=np.int64))
+    out = array("q")
+    out.frombytes(merged.tobytes())
+    return out
+
+
+def _merge_diff_numpy(left: array, right: array) -> array:
+    if not left or not right:
+        return left
+    np = _NUMPY
+    kept = np.setdiff1d(
+        np.frombuffer(left, dtype=np.int64),
+        np.frombuffer(right, dtype=np.int64),
+        assume_unique=True,
+    )
+    out = array("q")
+    out.frombytes(kept.tobytes())
+    return out
+
+
+def _merge_many_numpy(arrays: Sequence[array]) -> array:
+    if not arrays:
+        return _EMPTY_ARRAY
+    if len(arrays) == 1:
+        return arrays[0]
+    np = _NUMPY
+    merged = np.unique(
+        np.concatenate([np.frombuffer(a, dtype=np.int64) for a in arrays if len(a)] or
+                       [np.empty(0, dtype=np.int64)])
+    )
+    out = array("q")
+    out.frombytes(merged.tobytes())
+    return out
+
+
+_NUMPY = None
+_MERGE_BACKEND = "python"
+
+#: The active kernel triple (union, diff, many).  The public ``merge_*``
+#: functions below are *stable* dispatchers over this slot, so references
+#: imported anywhere — including the ``repro.nr`` re-exports — follow a
+#: backend switch instead of freezing the kernel that was active at import.
+_KERNELS = (_merge_union_python, _merge_diff_python, _merge_many_python)
+
+
+def merge_union(left: array, right: array) -> array:
+    """Union of two sorted duplicate-free id arrays (active backend)."""
+    return _KERNELS[0](left, right)
+
+
+def merge_diff(left: array, right: array) -> array:
+    """Difference ``left \\ right`` of sorted id arrays (active backend)."""
+    return _KERNELS[1](left, right)
+
+
+def merge_many(arrays: Sequence[array]) -> array:
+    """K-way union of sorted duplicate-free id arrays (active backend)."""
+    return _KERNELS[2](arrays)
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy merge backend can be activated."""
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy  # noqa: PLC0415 — optional dependency, gated import
+        except ImportError:
+            return False
+        _NUMPY = numpy
+    return True
+
+
+def merge_backend() -> str:
+    """The active merge backend name (``"python"`` or ``"numpy"``)."""
+    return _MERGE_BACKEND
+
+
+def set_merge_backend(name: str) -> str:
+    """Select the sorted-id merge kernels; returns the previous backend name.
+
+    ``"python"`` — the reference linear-merge kernels (always available);
+    ``"numpy"`` — vectorized ``union1d``/``setdiff1d``/``unique`` over
+    zero-copy ``int64`` views of the id arrays (raises :class:`RuntimeError`
+    when numpy is not installed); ``"auto"`` — numpy when available, python
+    otherwise.  Both backends return identical canonical arrays, so switching
+    mid-process never changes any interned id.
+    """
+    global _MERGE_BACKEND, _KERNELS
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        if not numpy_available():
+            raise RuntimeError("numpy merge backend requested but numpy is not installed")
+        kernels = (_merge_union_numpy, _merge_diff_numpy, _merge_many_numpy)
+    elif name == "python":
+        kernels = (_merge_union_python, _merge_diff_python, _merge_many_python)
+    else:
+        raise ValueError(f"unknown merge backend {name!r} (expected 'python', 'numpy' or 'auto')")
+    previous = _MERGE_BACKEND
+    _MERGE_BACKEND = name
+    _KERNELS = kernels
+    return previous
+
+
+# Opt-in via environment (CI smoke forces the backend on and off around one
+# cold synthesize); the default stays the pure-Python reference kernels.
+if os.environ.get("REPRO_MERGE_BACKEND"):
+    set_merge_backend(os.environ["REPRO_MERGE_BACKEND"])
+
+
+# =====================================================================
+# Segment reduction kernels (quantifier short-circuit)
+# =====================================================================
+
+
+def reduce_segments_all(body: List[bool], lengths: List[int]) -> List[bool]:
+    """Per-segment ``all`` over a flat Boolean column, short-circuiting.
+
+    ``body`` is the concatenation of one Boolean run per source row (the
+    compiled quantifier backends' exploded body mask) and ``lengths`` the
+    per-row run widths.  Instead of slicing each segment and folding it, the
+    kernel tracks the position of the **next deciding element** (the next
+    ``False``) with C-level ``list.index`` scans: a segment is decided the
+    moment the cached position clears its end, the elements after a deciding
+    element are never examined again, and every element is visited at most
+    once across the whole column.  Empty segments reduce to ``True`` (the
+    vacuous ``all``).
+    """
+    out = []
+    append = out.append
+    index = body.index
+    total = len(body)
+    position = 0
+    deciding = -1  # position of the next False at or after `position`; total = none
+    for count in lengths:
+        end = position + count
+        if deciding < position:
+            try:
+                deciding = index(False, position)
+            except ValueError:
+                deciding = total
+        append(deciding >= end)
+        position = end
+    return out
+
+
+def reduce_segments_any(body: List[bool], lengths: List[int]) -> List[bool]:
+    """Per-segment ``any`` over a flat Boolean column, short-circuiting.
+
+    The dual of :func:`reduce_segments_all`: the deciding element is the next
+    ``True``.  Empty segments reduce to ``False`` (the vacuous ``any``).
+    """
+    out = []
+    append = out.append
+    index = body.index
+    total = len(body)
+    position = 0
+    deciding = -1
+    for count in lengths:
+        end = position + count
+        if deciding < position:
+            try:
+                deciding = index(True, position)
+            except ValueError:
+                deciding = total
+        append(deciding < end)
+        position = end
     return out
 
 
@@ -148,6 +334,7 @@ class ValueInterner:
         "_union_cache",
         "_diff_cache",
         "_multi_union_cache",
+        "_multi_union_clears",
         "unit_id",
         "empty_set_id",
         "true_id",
@@ -167,6 +354,7 @@ class ValueInterner:
         self._union_cache: Dict[Tuple[int, int], int] = {}
         self._diff_cache: Dict[Tuple[int, int], int] = {}
         self._multi_union_cache: Dict[Tuple[int, ...], int] = {}
+        self._multi_union_clears = 0
         self.unit_id = self._new_id(UNIT_KIND, None)
         self.empty_set_id = self._new_id(SET_KIND, _EMPTY_ARRAY)
         self._set_ids[()] = self.empty_set_id
@@ -188,6 +376,8 @@ class ValueInterner:
             "union_cache": len(self._union_cache),
             "diff_cache": len(self._diff_cache),
             "multi_union_cache": len(self._multi_union_cache),
+            "multi_union_cache_bound": self.MULTI_UNION_MEMO_BOUND,
+            "multi_union_cache_clears": self._multi_union_clears,
         }
 
     def clear_memo_caches(self) -> None:
@@ -470,6 +660,13 @@ class ValueInterner:
     #: (repeated pairwise folding is quadratic in the segment's total size).
     WIDE_SEGMENT = 8
 
+    #: Bound on the wide-segment memo: its ``tuple(segment)`` keys are as wide
+    #: as the segments themselves, so in a long-lived service process the
+    #: table would otherwise grow without limit.  Past the bound the memo is
+    #: dropped (it is a pure cache of recomputable k-way merges); the clear is
+    #: counted in :meth:`stats` as ``multi_union_cache_clears``.
+    MULTI_UNION_MEMO_BOUND = 16_384
+
     def union_segments(self, column: List[int], lengths: List[int], error: str) -> List[int]:
         """Fold each segment of a set-id column into one union per source row.
 
@@ -499,6 +696,9 @@ class ValueInterner:
                 cached = self._multi_union_cache.get(key)
                 if cached is None:
                     cached = self.set_id_from_sorted(merge_many([payloads[vid] for vid in segment]))
+                    if len(self._multi_union_cache) >= self.MULTI_UNION_MEMO_BOUND:
+                        self._multi_union_cache.clear()
+                        self._multi_union_clears += 1
                     self._multi_union_cache[key] = cached
                 append(cached)
                 continue

@@ -193,10 +193,28 @@ def enumerate_max_specializations(
 
     Yields pairs ``(witnesses, specialized_formula)`` with at least one witness.
     """
+    for witnesses, specialized, _bounds in enumerate_max_specializations_with_bounds(
+        formula, theta, limit
+    ):
+        yield witnesses, specialized
+
+
+def enumerate_max_specializations_with_bounds(
+    formula: Formula, theta: Iterable[Member], limit: Optional[int] = None
+) -> Iterator[Tuple[Tuple[Term, ...], Formula, Tuple[Term, ...]]]:
+    """Like :func:`enumerate_max_specializations`, also yielding the bounds.
+
+    The third component is the successive (already substituted) bounds each
+    witness matched — exactly what :func:`specialization_bounds` recomputes
+    from scratch, but produced here for free during the enumeration itself so
+    proof search never substitutes the same block twice per candidate.
+    """
     theta = list(theta)
     count = 0
 
-    def recurse(current: Formula, chosen: Tuple[Term, ...]) -> Iterator[Tuple[Tuple[Term, ...], Formula]]:
+    def recurse(
+        current: Formula, chosen: Tuple[Term, ...], bounds: Tuple[Term, ...]
+    ) -> Iterator[Tuple[Tuple[Term, ...], Formula, Tuple[Term, ...]]]:
         nonlocal count
         if limit is not None and count >= limit:
             return
@@ -205,13 +223,13 @@ def enumerate_max_specializations(
             if candidates:
                 for witness in candidates:
                     next_formula = substitute(current.body, current.var, witness)
-                    yield from recurse(next_formula, chosen + (witness,))
+                    yield from recurse(next_formula, chosen + (witness,), bounds + (current.bound,))
                 return
         if chosen:
             count += 1
-            yield chosen, current
+            yield chosen, current, bounds
 
-    yield from recurse(formula, ())
+    yield from recurse(formula, (), ())
 
 
 def exists_premises(

@@ -16,6 +16,26 @@ goal-directed tableau tuned to the focused discipline of Figure 3:
    witness you just introduced", so this heuristic finds them quickly.
 3. The number of ∃ applications per branch is iteratively deepened.
 
+Search state is memoized in a :class:`SearchTables` transposition table keyed
+on the (hash-consed) sequent:
+
+* **successes** — a proof of a sequent is valid wherever that sequent
+  reappears: conjunctive siblings, later deepening rounds, and (when tables
+  are shared between searches) other problems of a parametric family all
+  reuse the finished subproof instead of re-deriving it;
+* **failures** — recorded with the *remaining* ∃-budget at which exploration
+  was exhausted; a sequent that failed with ``b`` budget remaining cannot
+  succeed with less, so deepening rounds skip the entire shallower tree
+  (previously ``_failures`` was reset per round).  Like the pre-existing
+  per-round table, this inherits the recency heuristic's move ordering —
+  failures are relative to the ``max_branching`` truncation;
+* **moves** — ∃-move enumeration is a pure function of the sequent, so
+  revisits (every deepening round re-walks the proven prefix) skip the
+  substitution work;
+* **closures** — equality-closure saturation depends only on the sequent's
+  ``=``/``≠`` atoms, so it is keyed on that subset: sibling branches that
+  differ in their non-equality formulas share one saturation even cold.
+
 All produced proofs are genuine Figure 3 proof trees; tests re-validate them
 with the independent checker.
 """
@@ -23,7 +43,7 @@ with the independent checker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProofSearchError
 from repro.logic.formulas import (
@@ -39,12 +59,131 @@ from repro.logic.formulas import (
     Top,
     formula_size,
 )
-from repro.logic.free_vars import fresh_var, replace_term_in_term
+from repro.logic.free_vars import fresh_var, replace_term_in_term, substitute
 from repro.logic.macros import negate
 from repro.logic.terms import Term
 from repro.proofs import focused
 from repro.proofs.prooftree import ProofNode
 from repro.proofs.sequents import Sequent, sequent_free_vars
+
+
+def _render_key(formula: Formula) -> str:
+    """The deterministic ordering key: the node's cached rendering.
+
+    Formulas cache ``__str__`` in ``_cstr`` (``core.interning``); reading the
+    slot directly skips the bound-method dispatch that ``key=str`` pays per
+    element per sort per visit.
+    """
+    key = formula.__dict__.get("_cstr")
+    return key if key is not None else str(formula)
+
+
+#: Distinct sentinel: a *cached* "no equality closure exists for this sequent"
+#: (``None`` in the cache slot would be indistinguishable from a miss).
+def _seed_free_vars(premise: Sequent, sequent: Sequent) -> None:
+    """Propagate the cached free-variable set to a premise that preserves it.
+
+    Valid only for rule premises whose free variables provably equal the
+    conclusion's: Or-decomposition (the disjuncts' variables union to the
+    principal's), ⊥-weakening (⊥ is closed) and ∃-moves (witnesses come from
+    Θ).  And-premises can have strictly fewer variables, so they are never
+    seeded — an over-approximated avoid-set would silently change which fresh
+    names later ∀-decompositions pick.
+    """
+    fv = sequent.__dict__.get("_fv")
+    if fv is not None and "_fv" not in premise.__dict__:
+        object.__setattr__(premise, "_fv", fv)
+
+
+_NO_CLOSURE = object()
+
+#: Hoisted nullary formulas: membership tests against a module-level instance
+#: reuse its cached structural hash, where ``Top() in delta`` would rehash a
+#: fresh node on every attempt.
+_TOP = Top()
+_BOTTOM = Bottom()
+
+#: One enumerated ∃-move, recency-independent (everything derivable from the
+#: sequent alone): principal, witnesses, specialized body, the ∈-atoms the
+#: witnesses consumed (for recency scoring), the static score component, and
+#: the specialized formula's render key (the deterministic tiebreak).
+_Move = Tuple[Exists, Tuple[Term, ...], Formula, Tuple[Member, ...], float, str]
+
+#: One maximal specialization of a principal against a Θ — the Δ-independent
+#: tail of a :data:`_Move` (witnesses, specialized, consumed, static score,
+#: tiebreak), cached per ``(principal, Θ)`` pair.
+_Expansion = Tuple[Tuple[Term, ...], Formula, Tuple[Member, ...], float, str]
+
+
+class SearchTables:
+    """Transposition state shared across budgets — and, optionally, searches.
+
+    A fresh instance is created per :class:`ProofSearch` unless one is passed
+    in; passing one table to every search of a parametric problem family lets
+    later instances reuse the subproofs the earlier ones finished (the
+    registry's ``multi_union_view(k)`` sizes share most subgoals).  Only share
+    tables between searches with identical configuration: failure entries are
+    relative to ``max_branching``/``max_attempts`` and closure entries to
+    ``max_equality_atoms``.
+    """
+
+    #: Size bound applied by :meth:`maintain`: the tables are pure caches, so
+    #: clearing them never changes results, only resets sharing.
+    MAX_ENTRIES = 200_000
+
+    __slots__ = (
+        "successes",
+        "failures",
+        "moves",
+        "closures",
+        "expansions",
+        "theta_indexes",
+        "clears",
+    )
+
+    def __init__(self) -> None:
+        self.successes: Dict[Sequent, ProofNode] = {}
+        self.failures: Dict[Sequent, int] = {}
+        self.moves: Dict[Sequent, List[_Move]] = {}
+        self.closures: Dict[object, object] = {}
+        self.expansions: Dict[Tuple[Formula, FrozenSet[Member]], List[_Expansion]] = {}
+        self.theta_indexes: Dict[FrozenSet[Member], Dict[Term, List[Term]]] = {}
+        self.clears = 0
+
+    def __len__(self) -> int:
+        return (
+            len(self.successes)
+            + len(self.failures)
+            + len(self.moves)
+            + len(self.closures)
+            + len(self.expansions)
+            + len(self.theta_indexes)
+        )
+
+    def clear(self) -> None:
+        self.successes.clear()
+        self.failures.clear()
+        self.moves.clear()
+        self.closures.clear()
+        self.expansions.clear()
+        self.theta_indexes.clear()
+
+    def maintain(self) -> None:
+        """Bound total size (called once per :meth:`ProofSearch.prove_or_none`)."""
+        if len(self) > self.MAX_ENTRIES:
+            self.clear()
+            self.clears += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "successes": len(self.successes),
+            "failures": len(self.failures),
+            "moves": len(self.moves),
+            "closures": len(self.closures),
+            "expansions": len(self.expansions),
+            "theta_indexes": len(self.theta_indexes),
+            "clears": self.clears,
+        }
 
 
 @dataclass
@@ -55,6 +194,10 @@ class SearchStats:
     exists_moves: int = 0
     equality_closures: int = 0
     budget_used: int = 0
+    #: Sequents answered by a cached subproof from the transposition table.
+    table_hits: int = 0
+    #: Stable states skipped because an equal-or-deeper exploration failed.
+    failure_hits: int = 0
 
 
 class ProofSearch:
@@ -67,12 +210,14 @@ class ProofSearch:
         max_branching: int = 24,
         max_equality_atoms: int = 4_000,
         depth_schedule: Optional[Sequence[int]] = None,
+        tables: Optional[SearchTables] = None,
     ) -> None:
         self.max_depth = max_depth
         self.max_attempts = max_attempts
         self.max_branching = max_branching
         self.max_equality_atoms = max_equality_atoms
         self.depth_schedule = tuple(depth_schedule) if depth_schedule is not None else None
+        self.tables = tables if tables is not None else SearchTables()
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------ API
@@ -92,9 +237,9 @@ class ProofSearch:
             budgets = [b for b in (4, 8, self.max_depth) if b <= self.max_depth]
             if not budgets or budgets[-1] != self.max_depth:
                 budgets.append(self.max_depth)
+        self.tables.maintain()
         for budget in budgets:
             self._attempts = 0
-            self._failures: Dict[Sequent, int] = {}
             try:
                 proof = self._attempt(sequent, (), budget)
             except _SearchBudgetExceeded:
@@ -106,6 +251,19 @@ class ProofSearch:
 
     # ------------------------------------------------------------ internals
     def _attempt(self, sequent: Sequent, recency: Tuple[Member, ...], budget: int) -> Optional[ProofNode]:
+        successes = self.tables.successes
+        cached = successes.get(sequent)
+        if cached is not None:
+            self.stats.table_hits += 1
+            return cached
+        proof = self._attempt_uncached(sequent, recency, budget)
+        if proof is not None:
+            successes[sequent] = proof
+        return proof
+
+    def _attempt_uncached(
+        self, sequent: Sequent, recency: Tuple[Member, ...], budget: int
+    ) -> Optional[ProofNode]:
         self._attempts += 1
         self.stats.attempts += 1
         if self._attempts > self.max_attempts:
@@ -113,26 +271,47 @@ class ProofSearch:
 
         delta = sequent.delta
         # -- closure by axioms
-        if Top() in delta:
+        if _TOP in delta:
             return focused.make_top_axiom(sequent)
-        reflexive = [f for f in delta if isinstance(f, EqUr) and f.left == f.right]
-        if reflexive:
-            # min-by-rendering, not "whichever the set yields first": the
-            # chosen axiom formula lands in the proof tree, and downstream
-            # interpolation must see the same proof on every PYTHONHASHSEED.
-            return focused.make_eq_axiom(sequent, min(reflexive, key=str))
+        # One pass over Δ finds both the reflexive =-axiom candidate and the
+        # invertible principal.  Both picks are min-by-rendering (priority
+        # Or < Forall < And for the principal, matching the old triple sort):
+        # the chosen formulas land in the proof tree, and downstream
+        # interpolation must see the same proof on every PYTHONHASHSEED.
+        reflexive: Optional[EqUr] = None
+        reflexive_key = ""
+        principal: Optional[Formula] = None
+        principal_rank = 3
+        principal_key = ""
+        for f in delta:
+            cls = f.__class__
+            if cls is EqUr:
+                if f.left == f.right:
+                    key = _render_key(f)
+                    if reflexive is None or key < reflexive_key:
+                        reflexive, reflexive_key = f, key
+            elif cls is Or or cls is Forall or cls is And:
+                rank = 0 if cls is Or else 1 if cls is Forall else 2
+                if rank > principal_rank:
+                    continue
+                key = _render_key(f)
+                if rank < principal_rank or key < principal_key:
+                    principal, principal_rank, principal_key = f, rank, key
+        if reflexive is not None:
+            return focused.make_eq_axiom(sequent, reflexive)
 
         # -- weaken ⊥ away (it would otherwise block the EL-only rules forever)
-        if Bottom() in delta:
-            premise = self._attempt(sequent.without_delta(Bottom()), recency, budget)
+        if _BOTTOM in delta:
+            premise_sequent = sequent.without_delta(_BOTTOM)
+            _seed_free_vars(premise_sequent, sequent)
+            premise = self._attempt(premise_sequent, recency, budget)
             if premise is None:
                 return None
             return focused.make_weaken(sequent, premise)
 
         # -- invertible decomposition of AL formulas
-        decomposable = self._pick_decomposable(delta)
-        if decomposable is not None:
-            return self._decompose(sequent, decomposable, recency, budget)
+        if principal is not None:
+            return self._decompose(sequent, principal, recency, budget)
 
         # -- stable state: every formula is EL
         closure = self._equality_closure(sequent)
@@ -142,44 +321,42 @@ class ProofSearch:
 
         if budget <= 0:
             return None
-        if self._failures.get(sequent, -1) >= budget:
+        failures = self.tables.failures
+        if failures.get(sequent, -1) >= budget:
+            self.stats.failure_hits += 1
             return None
 
         moves = self._candidate_moves(sequent, recency)
-        for principal, witnesses, _specialized in moves:
-            (premise_sequent,) = focused.exists_premises(sequent, principal, witnesses)
+        for principal, witnesses, specialized in moves:
+            # The enumeration already guarantees the rule's side conditions
+            # (witness memberships in Θ, maximality), so the premise is built
+            # directly; `make_exists` re-validates once on the success path.
+            premise_sequent = sequent.with_delta(specialized)
+            _seed_free_vars(premise_sequent, sequent)
             self.stats.exists_moves += 1
             premise = self._attempt(premise_sequent, recency, budget - 1)
             if premise is not None:
                 return focused.make_exists(sequent, principal, witnesses, premise)
-        self._failures[sequent] = budget
+        failures[sequent] = budget
         return None
 
     # ------------------------------------------------- invertible decomposition
-    def _pick_decomposable(self, delta: Iterable[Formula]) -> Optional[Formula]:
-        ors = sorted((f for f in delta if isinstance(f, Or)), key=str)
-        if ors:
-            return ors[0]
-        foralls = sorted((f for f in delta if isinstance(f, Forall)), key=str)
-        if foralls:
-            return foralls[0]
-        ands = sorted((f for f in delta if isinstance(f, And)), key=str)
-        if ands:
-            return ands[0]
-        return None
-
     def _decompose(
         self, sequent: Sequent, principal: Formula, recency: Tuple[Member, ...], budget: int
     ) -> Optional[ProofNode]:
         if isinstance(principal, Or):
             (premise_sequent,) = focused.or_premises(sequent, principal)
+            _seed_free_vars(premise_sequent, sequent)
             premise = self._attempt(premise_sequent, recency, budget)
             if premise is None:
                 return None
             return focused.make_or(sequent, principal, premise)
         if isinstance(principal, Forall):
-            fresh = fresh_var(principal.var.name, principal.var.typ, sequent_free_vars(sequent))
+            avoid = sequent_free_vars(sequent)
+            fresh = fresh_var(principal.var.name, principal.var.typ, avoid)
             (premise_sequent,) = focused.forall_premises(sequent, principal, fresh)
+            if "_fv" not in premise_sequent.__dict__:
+                object.__setattr__(premise_sequent, "_fv", avoid | {fresh})
             new_atom = Member(fresh, principal.bound)
             premise = self._attempt(premise_sequent, recency + (new_atom,), budget)
             if premise is None:
@@ -197,104 +374,158 @@ class ProofSearch:
         raise ProofSearchError(f"unexpected decomposable formula {principal}")
 
     # ------------------------------------------------------------- ∃ moves
-    def _candidate_moves(
-        self, sequent: Sequent, recency: Tuple[Member, ...]
-    ) -> List[Tuple[Exists, Tuple[Term, ...], Formula]]:
-        recency_index = {atom: i for i, atom in enumerate(recency)}
-        moves: List[Tuple[float, Exists, Tuple[Term, ...], Formula]] = []
+    def _theta_index(self, theta: FrozenSet[Member]) -> Dict[Term, List[Term]]:
+        """Θ indexed by collection, cached on the Θ frozenset itself.
+
+        Θ only changes at ∀-decompositions, so every sequent of an ∃-move
+        chain shares one index.  Elements are in cached-rendering order so
+        witness enumeration (and hence the whole search) stays
+        PYTHONHASHSEED-stable; the per-collection index replaces the O(|Θ|)
+        filter the enumeration used to run at every quantifier level of every
+        candidate.
+        """
+        indexes = self.tables.theta_indexes
+        index = indexes.get(theta)
+        if index is None:
+            index = {}
+            for atom in sorted(theta, key=_render_key):
+                index.setdefault(atom.collection, []).append(atom.elem)
+            indexes[theta] = index
+        return index
+
+    def _expand_principal(self, principal: Exists, theta: FrozenSet[Member]) -> List[_Expansion]:
+        """Maximal specializations of ``principal`` against ``theta``.
+
+        Cached per ``(principal, Θ)``: along a chain of ∃-moves Δ grows but Θ
+        is fixed, so each level of the chain reuses every earlier level's
+        substitution work and enumerates only its *new* principal fresh.
+        """
+        expansions = self.tables.expansions
+        key = (principal, theta)
+        cached = expansions.get(key)
+        if cached is not None:
+            return cached
+        by_collection = self._theta_index(theta)
+        candidates: List[Tuple[Tuple[Term, ...], Formula, Tuple[Term, ...]]] = []
+
+        def expand(current: Formula, chosen: Tuple[Term, ...], bounds: Tuple[Term, ...]) -> None:
+            if isinstance(current, Exists):
+                elems = by_collection.get(current.bound)
+                if elems:
+                    for witness in elems:
+                        expand(
+                            substitute(current.body, current.var, witness),
+                            chosen + (witness,),
+                            bounds + (current.bound,),
+                        )
+                    return
+            if chosen:
+                candidates.append((chosen, current, bounds))
+
+        expand(principal, (), ())
+        result: List[_Expansion] = []
+        for witnesses, specialized, bounds in candidates:
+            if specialized == principal:
+                continue
+            consumed = tuple(Member(witness, bound) for witness, bound in zip(witnesses, bounds))
+            static_score = (
+                2.0 if isinstance(specialized, (EqUr, NeqUr)) else 0.0
+            ) - formula_size(specialized) / 50.0
+            result.append((witnesses, specialized, consumed, static_score, str(specialized)))
+        expansions[key] = result
+        return result
+
+    def _enumerate_moves(self, sequent: Sequent) -> List[_Move]:
+        """All maximal ∃-moves of ``sequent``, cached on the sequent.
+
+        Everything recency-*independent* happens here exactly once per
+        distinct sequent — and the expensive part (witness enumeration with
+        its substitutions) at most once per ``(principal, Θ)`` via
+        :meth:`_expand_principal`.  Per-sequent work reduces to filtering
+        specializations already present in Δ; per-visit work reduces to
+        recency scoring + one sort.
+        """
+        moves_cache = self.tables.moves
+        cached = moves_cache.get(sequent)
+        if cached is not None:
+            return cached
+        moves: List[_Move] = []
         seen: Set[Tuple[Formula, Formula]] = set()
-        # Θ is a frozenset; iterate it in cached-rendering order so witness
-        # enumeration (and hence the whole search) is PYTHONHASHSEED-stable.
-        theta = sorted(sequent.theta, key=str)
-        for principal in sorted((f for f in sequent.delta if isinstance(f, Exists)), key=str):
-            for witnesses, specialized in focused.enumerate_max_specializations(principal, theta):
-                if specialized in sequent.delta or specialized == principal:
+        delta = sequent.delta
+        theta = sequent.theta
+        for principal in sorted((f for f in delta if isinstance(f, Exists)), key=_render_key):
+            for witnesses, specialized, consumed, static_score, tiebreak in self._expand_principal(
+                principal, theta
+            ):
+                if specialized in delta:
                     continue
                 key = (principal, specialized)
                 if key in seen:
                     continue
                 seen.add(key)
-                score = self._score_move(sequent, principal, witnesses, specialized, recency_index)
-                moves.append((score, principal, witnesses, specialized))
-        moves.sort(key=lambda item: (-item[0], str(item[3])))
-        return [(p, w, s) for _, p, w, s in moves[: self.max_branching]]
+                moves.append((principal, witnesses, specialized, consumed, static_score, tiebreak))
+        moves_cache[sequent] = moves
+        return moves
 
-    def _score_move(
-        self,
-        sequent: Sequent,
-        principal: Exists,
-        witnesses: Tuple[Term, ...],
-        specialized: Formula,
-        recency_index: Dict[Member, int],
-    ) -> float:
-        """Higher is better.  Prefer instantiations using recently introduced
-        ∈-atoms and producing small formulas (atoms close branches fastest)."""
-        bounds = focused.specialization_bounds(principal, witnesses)
-        newest = -1
-        for witness, bound in zip(witnesses, bounds):
-            atom = Member(witness, bound)
-            newest = max(newest, recency_index.get(atom, -1))
-        size_penalty = formula_size(specialized) / 50.0
-        atom_bonus = 2.0 if isinstance(specialized, (EqUr, NeqUr)) else 0.0
-        return 10.0 * newest + atom_bonus - size_penalty
+    def _candidate_moves(
+        self, sequent: Sequent, recency: Tuple[Member, ...]
+    ) -> List[Tuple[Exists, Tuple[Term, ...], Formula]]:
+        enumerated = self._enumerate_moves(sequent)
+        if not enumerated:
+            return []
+        recency_index = {atom: i for i, atom in enumerate(recency)}
+        lookup = recency_index.get
+        scored = []
+        for principal, witnesses, specialized, consumed, static_score, tiebreak in enumerated:
+            newest = -1
+            for atom in consumed:
+                rank = lookup(atom, -1)
+                if rank > newest:
+                    newest = rank
+            # Higher is better: prefer instantiations using recently
+            # introduced ∈-atoms and producing small formulas (atoms close
+            # branches fastest).
+            score = 10.0 * newest + static_score
+            scored.append((-score, tiebreak, principal, witnesses, specialized))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [(p, w, s) for _, _, p, w, s in scored[: self.max_branching]]
 
     # --------------------------------------------------------- equality closure
     def _equality_closure(self, sequent: Sequent) -> Optional[ProofNode]:
         """Close the branch with a chain of ≠-rule rewrites ending in ``=``.
 
-        Saturation iterates ``ordered`` (a deterministic insertion-order list
-        shadowing the ``known`` membership set), never a raw set: which chain
-        the saturation finds decides the proof tree that interpolation later
-        consumes, so enumeration order must not depend on ``PYTHONHASHSEED``.
+        The saturation depends only on the ``=``/``≠`` atoms of the sequent —
+        not on its other EL formulas — so its outcome is cached keyed on that
+        atom subset.  Sibling branches (and successive ∃-moves, which extend Δ
+        with non-equality formulas) share one saturation even on a cold run;
+        only the final proof assembly is per-sequent, and only on success.
         """
-        goals = sorted((f for f in sequent.delta if isinstance(f, EqUr)), key=str)
-        hyps = sorted(
-            (f for f in sequent.delta if isinstance(f, NeqUr) and f.left != f.right), key=str
-        )
-        if not goals or not hyps:
+        atoms: List[Formula] = []
+        has_goal = False
+        has_hyp = False
+        for f in sequent.delta:
+            cls = f.__class__
+            if cls is EqUr:
+                atoms.append(f)
+                has_goal = True
+            elif cls is NeqUr:
+                atoms.append(f)
+                if f.left != f.right:
+                    has_hyp = True
+        # Cheap early-out without touching the cache: a closure needs at least
+        # one = goal and one usable ≠ hypothesis (the common stable-phase case
+        # has neither, and building the frozenset key would dominate).
+        if not has_goal or not has_hyp:
             return None
-        atoms = goals + hyps
-        known: Set[Formula] = set(atoms)
-        ordered: List[Formula] = list(atoms)
-        derivation: Dict[Formula, Tuple[NeqUr, Formula]] = {}
-        order: List[Formula] = []
-        goal: Optional[EqUr] = None
-
-        progressing = True
-        while progressing and goal is None and len(known) < self.max_equality_atoms:
-            progressing = False
-            hypotheses = [a for a in ordered if isinstance(a, NeqUr) and a.left != a.right]
-            for hyp in hypotheses:
-                for atom in list(ordered):
-                    rewritten = _rewrite_atom(atom, hyp.left, hyp.right)
-                    if rewritten == atom or rewritten in known:
-                        continue
-                    known.add(rewritten)
-                    ordered.append(rewritten)
-                    derivation[rewritten] = (hyp, atom)
-                    order.append(rewritten)
-                    progressing = True
-                    if isinstance(rewritten, EqUr) and rewritten.left == rewritten.right:
-                        goal = rewritten
-                        break
-                if goal is not None:
-                    break
-
-        if goal is None:
+        closures = self.tables.closures
+        key = frozenset(atoms)
+        cached = closures.get(key)
+        if cached is None:
+            cached = self._saturate_chain(atoms)
+            closures[key] = cached
+        if cached is _NO_CLOSURE:
             return None
-
-        # Collect the ancestors of the goal among derived atoms, in derivation order.
-        needed: Set[Formula] = set()
-
-        def collect(atom: Formula) -> None:
-            if atom in derivation and atom not in needed:
-                needed.add(atom)
-                hyp, source = derivation[atom]
-                collect(hyp)
-                collect(source)
-
-        collect(goal)
-        chain = [atom for atom in order if atom in needed]
+        goal, chain, derivation = cached  # type: ignore[misc]
 
         # Build the proof: innermost sequent contains every derived atom of the
         # chain; close it with the = axiom, then peel ≠-rule applications.
@@ -305,6 +536,85 @@ class ProofSearch:
             hyp, source = derivation[chain[index]]
             proof = focused.make_neq(conclusion, hyp, source, chain[index], proof)
         return proof
+
+    def _saturate_chain(self, atoms: Sequence[Formula]) -> object:
+        """Worklist saturation of the ≠-rewrite relation over ``atoms``.
+
+        Returns :data:`_NO_CLOSURE` or ``(goal, chain, derivation)`` — the
+        reflexive equality reached, the derived atoms in discovery order
+        restricted to the goal's ancestors, and the ``atom → (hyp, source)``
+        derivation map the proof assembly peels.
+
+        Each new atom is paired once against the existing hypotheses (and,
+        when it is itself a usable ≠-hypothesis, once against the existing
+        atoms) — the old implementation re-walked the full ``ordered`` list
+        from scratch after every derived atom, which was quadratic in the
+        saturation size.  Enumeration stays deterministic: seeds are sorted by
+        their cached rendering and the worklist is processed in insertion
+        order, so which chain is found never depends on ``PYTHONHASHSEED``.
+        """
+        goals = sorted((f for f in atoms if isinstance(f, EqUr)), key=_render_key)
+        hyps = sorted(
+            (f for f in atoms if isinstance(f, NeqUr) and f.left != f.right), key=_render_key
+        )
+        if not goals or not hyps:
+            return _NO_CLOSURE
+        seeds = goals + hyps
+        known: Set[Formula] = set(seeds)
+        derivation: Dict[Formula, Tuple[NeqUr, Formula]] = {}
+        order: List[Formula] = []
+        goal: Optional[EqUr] = None
+
+        processed_atoms: List[Formula] = []
+        hypotheses: List[NeqUr] = []
+        queue: List[Formula] = list(seeds)
+        max_atoms = self.max_equality_atoms
+        index = 0
+        while index < len(queue) and goal is None and len(known) < max_atoms:
+            new = queue[index]
+            index += 1
+            derived: List[Tuple[Formula, NeqUr, Formula]] = []
+            # ``new`` as the rewritten atom, against every known hypothesis…
+            for hyp in hypotheses:
+                derived.append((_rewrite_atom(new, hyp.left, hyp.right), hyp, new))
+            # …and, when usable as a hypothesis, against every known atom
+            # (including itself: x≠y rewrites its own left side too).
+            new_is_hyp = isinstance(new, NeqUr) and new.left != new.right
+            if new_is_hyp:
+                for atom in processed_atoms:
+                    derived.append((_rewrite_atom(atom, new.left, new.right), new, atom))
+                derived.append((_rewrite_atom(new, new.left, new.right), new, new))
+            processed_atoms.append(new)
+            if new_is_hyp:
+                hypotheses.append(new)
+            for rewritten, hyp, source in derived:
+                if rewritten == source or rewritten in known:
+                    continue
+                known.add(rewritten)
+                derivation[rewritten] = (hyp, source)
+                order.append(rewritten)
+                queue.append(rewritten)
+                if isinstance(rewritten, EqUr) and rewritten.left == rewritten.right:
+                    goal = rewritten
+                    break
+
+        if goal is None:
+            return _NO_CLOSURE
+
+        # Restrict to the ancestors of the goal among derived atoms, keeping
+        # discovery order.
+        needed: Set[Formula] = set()
+
+        def collect(atom: Formula) -> None:
+            if atom in derivation and atom not in needed:
+                needed.add(atom)
+                hyp, source = derivation[atom]
+                collect(hyp)
+                collect(source)
+
+        collect(goal)
+        chain = tuple(atom for atom in order if atom in needed)
+        return (goal, chain, derivation)
 
 
 class _SearchBudgetExceeded(Exception):

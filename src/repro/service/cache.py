@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.interning import clear_intern_cache, intern, intern_cache_stats
+from repro.logic.compile import FormulaProgram, export_program, import_program
 from repro.logic.formulas import Formula
 from repro.logic.terms import Var
 from repro.nr.columns import reset_shared_interner, shared_interner_stats
@@ -77,6 +78,11 @@ def spec_key(problem: ImplicitDefinitionProblem) -> SpecKey:
     return SpecKey(intern(problem.phi), problem.inputs, problem.output, problem.auxiliaries)
 
 
+def formula_digest(phi: Formula) -> str:
+    """Stable hex content address of a bare formula (for the program store)."""
+    return hashlib.sha256(str(phi).encode("utf-8")).hexdigest()
+
+
 def spec_digest(problem: ImplicitDefinitionProblem) -> str:
     """Stable hex content address of ``problem`` (cross-process, cross-machine).
 
@@ -107,6 +113,10 @@ class CacheStats:
     disk_hits: int = 0
     disk_stores: int = 0
     disk_evictions: int = 0
+    program_hits: int = 0
+    program_misses: int = 0
+    program_stores: int = 0
+    program_mismatches: int = 0
     intern_table_clears: int = 0
     interner_rotations: int = 0
 
@@ -250,6 +260,63 @@ class SynthesisCache:
         """
         self._memory_store(spec_key(problem), result)
 
+    # ----------------------------------------------------- compiled programs
+    #: Subdirectory of ``disk_dir`` holding persisted compiled programs.  A
+    #: separate directory keeps the ``*.json`` sidecar scan of the result
+    #: tier (and its eviction policy) blind to program payloads.
+    PROGRAM_SUBDIR = "programs"
+
+    def _program_path(self, phi: Formula) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / self.PROGRAM_SUBDIR / f"{formula_digest(phi)}.pkl"
+
+    def store_program(self, program: FormulaProgram) -> bool:
+        """Persist ``program`` (code + verified rows) into the disk tier.
+
+        The payload is versioned by :func:`repro.logic.compile.
+        compiler_fingerprint`; see :func:`~repro.logic.compile.export_program`.
+        Returns ``False`` when no disk tier is configured.
+        """
+        path = self._program_path(program.formula)
+        if path is None:
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(export_program(program), protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(path, blob)
+        self.stats.program_stores += 1
+        return True
+
+    def load_program(self, phi: Formula) -> Optional[FormulaProgram]:
+        """A persisted compiled program for ``phi``, or ``None`` to recompile.
+
+        Every failure mode — no disk tier, no payload, torn pickle,
+        fingerprint mismatch — is a miss; a fingerprint mismatch additionally
+        drops the stale payload so it is rewritten by the next store.
+        """
+        path = self._program_path(phi)
+        if path is None:
+            return None
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.program_misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            program = import_program(payload, phi) if isinstance(payload, dict) else None
+        except Exception:
+            program = None
+        if program is None:
+            self.stats.program_mismatches += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.program_hits += 1
+        return program
+
     def _memory_store(self, key: SpecKey, result: SynthesisResult) -> None:
         lru = self._lru
         if key in lru:
@@ -324,7 +391,9 @@ class SynthesisCache:
 
     def _sweep_stale_tmp_files(self) -> None:
         cutoff = time.time() - self.STALE_TMP_SECONDS
-        for tmp in self.disk_dir.glob("*.tmp"):
+        for tmp in list(self.disk_dir.glob("*.tmp")) + list(
+            self.disk_dir.glob(f"{self.PROGRAM_SUBDIR}/*.tmp")
+        ):
             try:
                 if tmp.stat().st_mtime < cutoff:
                     tmp.unlink()

@@ -53,6 +53,7 @@ from repro.synthesis.verification import VerificationReport, check_explicit_defi
 #: Stage names in execution order (import these instead of retyping strings).
 STAGE_VALIDATE = "validate"
 STAGE_CACHE_LOOKUP = "cache-lookup"
+STAGE_FORMULA_COMPILE = "formula-compile"
 STAGE_PROOF_SEARCH = "proof-search"
 STAGE_EXTRACTION = "extraction"
 STAGE_SIMPLIFICATION = "simplification"
@@ -223,6 +224,35 @@ class SynthesisPipeline:
             report.cache_tier = tier
             stages.append(StageTiming(STAGE_CACHE_LOOKUP, time.perf_counter() - start, {"tier": tier}))
 
+        # -------- formula-compile: persisted program, node cache, or fresh.
+        # The compiled specification backs the verification stage (and any
+        # later eval); surfacing *where* it came from makes the persisted-
+        # program tier observable — "persisted" means this process skipped
+        # source generation and bytecode compilation entirely.
+        start = time.perf_counter()
+        phi_program = None
+        program_source = "compiled"
+        if self.cache is not None:
+            phi_program = self.cache.load_program(problem.phi)
+            if phi_program is not None:
+                program_source = "persisted"
+        if phi_program is None:
+            node_cache = problem.phi.__dict__.get("_fprogs")
+            if node_cache and node_cache.get(None) is not None:
+                program_source = "node-cache"
+            phi_program = compile_formula(problem.phi)
+        stages.append(
+            StageTiming(
+                STAGE_FORMULA_COMPILE,
+                time.perf_counter() - start,
+                {
+                    "source": program_source,
+                    "backend": phi_program.backend,
+                    "rows_seeded": len(phi_program._seed_rows),
+                },
+            )
+        )
+
         if result is None:
             result = self._synthesize_staged(problem, stages)
         report.result = result
@@ -230,7 +260,6 @@ class SynthesisPipeline:
         # -------- verification (runs on hits too: instances may be new).
         if assignments is not None:
             start = time.perf_counter()
-            phi_program = compile_formula(problem.phi)
             rows_before = phi_program.stats["rows"]
             run_before = phi_program.stats["rows_run"]
             hits_before = phi_program.stats["row_hits"]
@@ -254,6 +283,13 @@ class SynthesisPipeline:
 
         # -------- cache-store + bounded-memory maintenance.
         if self.cache is not None:
+            # Write the compiled program (with whatever rows verification
+            # just added to its memo) through to the disk tier, so the next
+            # fresh process reports "persisted" above.  Re-storing a program
+            # this process itself imported would be a no-op rewrite; skip it.
+            program_stored = False
+            if program_source != "persisted":
+                program_stored = self.cache.store_program(phi_program)
             if not report.cache_hit:
                 start = time.perf_counter()
                 self.cache.store(
@@ -266,7 +302,10 @@ class SynthesisPipeline:
                     StageTiming(
                         STAGE_CACHE_STORE,
                         time.perf_counter() - start,
-                        {"disk": self.cache.disk_dir is not None},
+                        {
+                            "disk": self.cache.disk_dir is not None,
+                            "program_stored": program_stored,
+                        },
                     )
                 )
             self.cache.maintain()

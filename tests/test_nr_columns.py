@@ -9,9 +9,14 @@ from hypothesis import given
 from repro.errors import EvaluationError
 from repro.nr.columns import (
     ValueInterner,
+    merge_backend,
     merge_diff,
     merge_many,
     merge_union,
+    numpy_available,
+    reduce_segments_all,
+    reduce_segments_any,
+    set_merge_backend,
     shared_interner,
 )
 from repro.nr.values import pair, ur, unit, vset
@@ -99,3 +104,119 @@ def test_explode_and_union_segments_roundtrip():
 
 def test_shared_interner_is_a_singleton():
     assert shared_interner() is shared_interner()
+
+
+# ------------------------------------------------- short-circuit reduction
+segment_plans = st.lists(st.lists(st.booleans(), max_size=6), max_size=8)
+
+
+@given(segments=segment_plans)
+def test_reduce_segments_all_matches_sliced_all(segments):
+    body = [b for segment in segments for b in segment]
+    lengths = [len(segment) for segment in segments]
+    assert reduce_segments_all(body, lengths) == [all(s) for s in segments]
+
+
+@given(segments=segment_plans)
+def test_reduce_segments_any_matches_sliced_any(segments):
+    body = [b for segment in segments for b in segment]
+    lengths = [len(segment) for segment in segments]
+    assert reduce_segments_any(body, lengths) == [any(s) for s in segments]
+
+
+def test_reduce_segments_empty_segments_are_vacuous():
+    assert reduce_segments_all([], [0, 0]) == [True, True]
+    assert reduce_segments_any([], [0, 0]) == [False, False]
+
+
+# ------------------------------------------------------ numpy merge backend
+def test_merge_backend_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        set_merge_backend("fortran")
+    assert merge_backend() == "python"
+
+
+def test_auto_backend_never_raises():
+    try:
+        previous = set_merge_backend("auto")
+        assert previous == "python"
+        assert merge_backend() == ("numpy" if numpy_available() else "python")
+    finally:
+        set_merge_backend("python")
+
+
+@given(left=sorted_ids, right=sorted_ids, arrays=st.lists(sorted_ids, max_size=5))
+def test_numpy_kernels_match_python_kernels(left, right, arrays):
+    """ISSUE 6 differential lock: the optional vectorized backend must be
+    indistinguishable from the reference python kernels — same element
+    order, same array typecode — on every input."""
+    pytest.importorskip("numpy")
+    py_union = merge_union(left, right)
+    py_diff = merge_diff(left, right)
+    py_many = merge_many(arrays)
+    try:
+        set_merge_backend("numpy")
+        assert merge_union(left, right) == py_union
+        assert merge_diff(left, right) == py_diff
+        assert merge_many(arrays) == py_many
+        assert merge_union(left, right).typecode == py_union.typecode
+    finally:
+        set_merge_backend("python")
+
+
+def test_interner_results_identical_across_backends():
+    pytest.importorskip("numpy")
+    sets = [vset([ur(i), ur(i + 1), ur(2 * i)]) for i in range(6)]
+
+    def fold(interner):
+        ids = [interner.intern(s) for s in sets]
+        out = ids[0]
+        for vid in ids[1:]:
+            out = interner.union_id(out, vid)
+        return interner.extern(out)
+
+    python_result = fold(ValueInterner())
+    try:
+        set_merge_backend("numpy")
+        numpy_result = fold(ValueInterner())
+    finally:
+        set_merge_backend("python")
+    assert python_result == numpy_result
+
+
+# ------------------------------------------------- wide-segment union memo
+def test_wide_segment_unions_are_memoized():
+    interner = ValueInterner()
+    width = ValueInterner.WIDE_SEGMENT + 2
+    column = [interner.intern(vset([ur(i)])) for i in range(width)] * 2
+    lengths = [width, width]
+    first = interner.union_segments(column, lengths, "not a set %s")
+    assert first[0] == first[1]
+    assert interner.stats()["multi_union_cache"] == 1
+    # The repeat is a pure dictionary hit producing the same id.
+    assert interner.union_segments(column, lengths, "not a set %s") == first
+
+
+def test_wide_segment_memo_is_bounded(monkeypatch):
+    monkeypatch.setattr(ValueInterner, "MULTI_UNION_MEMO_BOUND", 2)
+    interner = ValueInterner()
+    width = ValueInterner.WIDE_SEGMENT + 1
+    for round_ in range(4):
+        column = [interner.intern(vset([ur((round_, i))])) for i in range(width)]
+        interner.union_segments(column, [width], "not a set %s")
+    stats = interner.stats()
+    assert stats["multi_union_cache"] <= 2
+    assert stats["multi_union_cache_clears"] >= 1
+    assert stats["multi_union_cache_bound"] == 2
+
+
+def test_clear_memo_caches_drops_the_multi_union_memo():
+    interner = ValueInterner()
+    width = ValueInterner.WIDE_SEGMENT + 1
+    column = [interner.intern(vset([ur(i)])) for i in range(width)]
+    folded = interner.union_segments(column, [width], "not a set %s")
+    assert interner.stats()["multi_union_cache"] == 1
+    interner.clear_memo_caches()
+    assert interner.stats()["multi_union_cache"] == 0
+    # Recomputation reproduces the same canonical id.
+    assert interner.union_segments(column, [width], "not a set %s") == folded

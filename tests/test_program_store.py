@@ -1,0 +1,243 @@
+"""Persisted compiled programs: fingerprinting, corruption, pipeline wiring.
+
+ISSUE 6 satellite S3: every untrusted-payload path must degrade to a clean
+recompile — ``load_program`` answers ``None`` (never raises) on fingerprint
+skew, formula mismatch or a torn pickle, and drops the stale payload so the
+next store rewrites it.  The happy path is covered end-to-end: a fresh cache
+instance over a populated disk tier serves the program (``persisted`` source
+in the :class:`PipelineReport`) with the verified row memo seeded.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.interning import intern
+from repro.logic import compile as compile_module
+from repro.logic.compile import (
+    compile_formula,
+    compiler_fingerprint,
+    export_program,
+    import_program,
+)
+from repro.nr.columns import ValueInterner
+from repro.proofs.search import ProofSearch
+from repro.service.cache import SynthesisCache
+from repro.service.pipeline import STAGE_FORMULA_COMPILE, SynthesisPipeline
+from repro.specs import examples
+
+
+def _drop_node_cache(phi):
+    """Simulate a fresh worker process: no in-process compiled programs.
+
+    ``compile_formula`` caches on the hash-consed canonical node *and*
+    aliases the program on the structurally-equal node it was called with,
+    so both caches must go.
+    """
+    phi.__dict__.pop("_fprogs", None)
+    intern(phi).__dict__.pop("_fprogs", None)
+
+
+def _compile_and_run(phi, family_rows):
+    program = compile_formula(phi)
+    # The program holds its memo interner by weakref; keep it alive so the
+    # memo is still bound (and externable) when the caller stores the program.
+    interner = ValueInterner()
+    mask = program.eval_mask(family_rows, interner)
+    return program, mask, interner
+
+
+def _verification_rows(problem, scale=6):
+    """Assignment rows over φ's free variables, as the verifier builds them."""
+    instances = examples.multi_union_view_instances(2, scale)
+    free = compile_formula(problem.phi).free_vars
+    rows = []
+    for instance in instances:
+        assignment = dict(instance)
+        if all(var in assignment for var in free):
+            rows.append({var: assignment[var] for var in free})
+    return rows
+
+
+def test_store_and_load_roundtrip_across_cache_instances(tmp_path):
+    problem = examples.union_view()
+    rows = _verification_rows(problem)
+    program, mask, _keep = _compile_and_run(problem.phi, rows)
+    writer = SynthesisCache(disk_dir=tmp_path)
+    assert writer.store_program(program)
+    assert writer.stats.program_stores == 1
+
+    _drop_node_cache(problem.phi)
+    reader = SynthesisCache(disk_dir=tmp_path)
+    loaded = reader.load_program(problem.phi)
+    assert loaded is not None and loaded is not program
+    assert reader.stats.program_hits == 1
+    assert loaded.backend == program.backend
+    assert loaded._seed_rows, "verified rows must ride along with the program"
+    assert loaded.eval_mask(rows, ValueInterner()) == mask
+    # The seeded rows primed the memo: nothing was re-executed for them.
+    assert loaded.stats["rows_seeded"] == len(loaded._seed_rows)
+    assert loaded.stats["row_hits"] == len(rows)
+    assert loaded.stats["runs"] == 0
+
+
+def test_fingerprint_mismatch_is_a_miss_and_drops_the_payload(tmp_path, monkeypatch):
+    problem = examples.union_view()
+    program, _, _keep = _compile_and_run(problem.phi, _verification_rows(problem))
+    cache = SynthesisCache(disk_dir=tmp_path)
+    assert cache.store_program(program)
+    path = cache._program_path(problem.phi)
+    assert path.exists()
+
+    _drop_node_cache(problem.phi)
+    monkeypatch.setattr(compile_module, "PROGRAM_FORMAT_VERSION", 999)
+    stale_reader = SynthesisCache(disk_dir=tmp_path)
+    assert stale_reader.load_program(problem.phi) is None
+    assert stale_reader.stats.program_mismatches == 1
+    assert not path.exists(), "stale payload must be dropped for the rewriter"
+
+    # The clean-recompile path: compile + store succeeds under the new
+    # fingerprint and the rewritten payload loads again.
+    recompiled = compile_formula(problem.phi)
+    assert stale_reader.store_program(recompiled)
+    _drop_node_cache(problem.phi)
+    assert stale_reader.load_program(problem.phi) is not None
+
+
+def test_corrupt_payload_reads_as_miss(tmp_path):
+    problem = examples.union_view()
+    program, _, _keep = _compile_and_run(problem.phi, _verification_rows(problem))
+    cache = SynthesisCache(disk_dir=tmp_path)
+    assert cache.store_program(program)
+    path = cache._program_path(problem.phi)
+    path.write_bytes(b"\x80\x04 not a payload")
+
+    _drop_node_cache(problem.phi)
+    assert cache.load_program(problem.phi) is None
+    assert cache.stats.program_mismatches == 1
+    assert not path.exists()
+
+
+def test_payload_for_the_wrong_formula_is_rejected(tmp_path):
+    union = examples.union_view()
+    intersection = examples.intersection_view()
+    program, _, _keep = _compile_and_run(union.phi, _verification_rows(union))
+    cache = SynthesisCache(disk_dir=tmp_path)
+    assert cache.store_program(program)
+    # Graft the union payload under the intersection digest.
+    blob = cache._program_path(union.phi).read_bytes()
+    wrong = cache._program_path(intersection.phi)
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_bytes(blob)
+
+    _drop_node_cache(intersection.phi)
+    assert cache.load_program(intersection.phi) is None
+    assert cache.stats.program_mismatches == 1
+
+
+def test_no_disk_tier_means_no_persistence():
+    program = compile_formula(examples.union_view().phi)
+    cache = SynthesisCache()
+    assert not cache.store_program(program)
+    assert cache.load_program(program.formula) is None
+
+
+def test_import_adopts_the_in_process_program(tmp_path):
+    """A process that already compiled φ keeps its program (and its memo);
+    the persisted rows are adopted only when it has verified nothing yet."""
+    problem = examples.union_view()
+    rows = _verification_rows(problem)
+    program, _, _keep = _compile_and_run(problem.phi, rows)
+    payload = pickle.loads(pickle.dumps(export_program(program)))
+
+    # Same process, program already has a memo: no seeding.
+    adopted = import_program(payload, problem.phi)
+    assert adopted is program
+    assert not program._seed_rows
+
+    # Fresh compile with an empty memo: the rows are adopted.
+    _drop_node_cache(problem.phi)
+    fresh = compile_formula(problem.phi)
+    assert import_program(payload, problem.phi) is fresh
+    assert fresh._seed_rows
+
+
+def test_export_rows_are_interner_independent():
+    problem = examples.union_view()
+    rows = _verification_rows(problem)
+    program, mask, _keep = _compile_and_run(problem.phi, rows)
+    payload = export_program(program)
+    assert payload["fingerprint"] == compiler_fingerprint()
+    assert payload["rows"], "memoized rows must be externed"
+
+    _drop_node_cache(problem.phi)
+    rebuilt = import_program(pickle.loads(pickle.dumps(payload)), problem.phi)
+    # A brand-new interner: seeded Values re-intern into the new id space.
+    assert rebuilt.eval_mask(rows, ValueInterner()) == mask
+    assert rebuilt.stats["runs"] == 0
+
+
+def test_pipeline_reports_persisted_source_for_a_fresh_worker(tmp_path):
+    problem = examples.union_view()
+    instances = examples.multi_union_view_instances(2, 12)
+    cold = SynthesisPipeline(
+        cache=SynthesisCache(disk_dir=tmp_path),
+        search_factory=lambda: ProofSearch(max_depth=12),
+    ).run(problem, instances)
+    assert cold.result is not None and not cold.cache_hit
+    assert cold.stage(STAGE_FORMULA_COMPILE).detail["source"] in ("compiled", "node-cache")
+
+    _drop_node_cache(problem.phi)
+    warm = SynthesisPipeline(
+        cache=SynthesisCache(disk_dir=tmp_path),
+        search_factory=lambda: ProofSearch(max_depth=12),
+    ).run(problem, instances)
+    assert warm.cache_hit and warm.cache_tier == "disk"
+    compile_stage = warm.stage(STAGE_FORMULA_COMPILE)
+    assert compile_stage.detail["source"] == "persisted"
+    assert compile_stage.detail["rows_seeded"] > 0
+    assert warm.verification is not None and warm.verification.ok
+
+
+def test_fingerprint_mismatch_recovers_through_the_pipeline(tmp_path, monkeypatch):
+    """End-to-end S3: a stale store never poisons a run — the pipeline
+    recompiles, re-verifies and overwrites the payload."""
+    problem = examples.union_view()
+    instances = examples.multi_union_view_instances(2, 12)
+    SynthesisPipeline(
+        cache=SynthesisCache(disk_dir=tmp_path),
+        search_factory=lambda: ProofSearch(max_depth=12),
+    ).run(problem, instances)
+
+    _drop_node_cache(problem.phi)
+    monkeypatch.setattr(compile_module, "PROGRAM_FORMAT_VERSION", 999)
+    cache = SynthesisCache(disk_dir=tmp_path)
+    report = SynthesisPipeline(
+        cache=cache,
+        search_factory=lambda: ProofSearch(max_depth=12),
+    ).run(problem, instances)
+    compile_stage = report.stage(STAGE_FORMULA_COMPILE)
+    assert compile_stage.detail["source"] in ("compiled", "node-cache")
+    assert cache.stats.program_mismatches == 1
+    assert report.verification is not None and report.verification.ok
+    # The run re-stored under the new fingerprint; a fresh worker now hits.
+    _drop_node_cache(problem.phi)
+    assert cache.load_program(problem.phi) is not None
+
+
+def test_program_stats_surface_in_cache_stats(tmp_path):
+    problem = examples.union_view()
+    program, _, _keep = _compile_and_run(problem.phi, _verification_rows(problem))
+    cache = SynthesisCache(disk_dir=tmp_path)
+    cache.store_program(program)
+    _drop_node_cache(problem.phi)
+    cache.load_program(problem.phi)
+    cache.load_program(examples.intersection_view().phi)  # nothing stored
+    snapshot = cache.stats
+    assert snapshot.program_stores == 1
+    assert snapshot.program_hits == 1
+    assert snapshot.program_misses == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -9,6 +9,7 @@ from repro.service.pipeline import (
     STAGE_CACHE_LOOKUP,
     STAGE_CACHE_STORE,
     STAGE_EXTRACTION,
+    STAGE_FORMULA_COMPILE,
     STAGE_PROOF_SEARCH,
     STAGE_SIMPLIFICATION,
     STAGE_VALIDATE,
@@ -27,9 +28,16 @@ def _pipeline(cache=None, **kwargs):
 def test_cold_run_stage_sequence_and_details():
     report = _pipeline().run(examples.union_view())
     names = [stage.name for stage in report.stages]
-    assert names == [STAGE_VALIDATE, STAGE_PROOF_SEARCH, STAGE_EXTRACTION, STAGE_SIMPLIFICATION]
+    assert names == [
+        STAGE_VALIDATE,
+        STAGE_FORMULA_COMPILE,
+        STAGE_PROOF_SEARCH,
+        STAGE_EXTRACTION,
+        STAGE_SIMPLIFICATION,
+    ]
     assert report.cache_tier == "off" and not report.cache_hit
     assert all(stage.seconds >= 0 for stage in report.stages)
+    assert report.stage(STAGE_FORMULA_COMPILE).detail["source"] in ("compiled", "node-cache")
     assert report.stage(STAGE_PROOF_SEARCH).detail["proof_size"] > 0
     simplification = report.stage(STAGE_SIMPLIFICATION).detail
     assert simplification["size_after"] <= simplification["size_before"]
@@ -50,7 +58,8 @@ def test_cache_miss_then_hit_skips_expensive_stages():
     warm = pipeline.run(problem)
     assert warm.cache_tier == "memory" and warm.cache_hit
     warm_names = [stage.name for stage in warm.stages]
-    assert warm_names == [STAGE_VALIDATE, STAGE_CACHE_LOOKUP]
+    assert warm_names == [STAGE_VALIDATE, STAGE_CACHE_LOOKUP, STAGE_FORMULA_COMPILE]
+    assert warm.stage(STAGE_FORMULA_COMPILE).detail["source"] == "node-cache"
     assert warm.result.expression == cold.result.expression
     assert warm.digest == cold.digest
 

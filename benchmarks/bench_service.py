@@ -40,9 +40,12 @@ PROBLEMS = ("union_view", "intersection_of_3_views", "pair_tower_2")
 
 def measure() -> dict:
     from repro.proofs.search import ProofSearch
+    from repro.service import api
     from repro.service.cache import SynthesisCache
+    from repro.service.fleet import LocalNode, SweepCoordinator
     from repro.service.pipeline import SynthesisPipeline
     from repro.service.registry import default_registry
+    from repro.service.workers import run_sweep
 
     registry = default_registry()
     cold: dict = {}
@@ -85,6 +88,28 @@ def measure() -> dict:
 
             warm_disk[name] = best_of(disk_lookup, repeats=5, inner=1)
 
+    # Fleet coordination overhead (ISSUE 7): the same warm sweep run directly
+    # through the worker pool vs through a SweepCoordinator over one local
+    # node.  Both sides recall every problem from the same disk tier in the
+    # same process, so the ratio isolates what sharding, dispatch, and the
+    # deterministic merge cost on top of the sweep itself — it should hover
+    # near 1.0, and the gate catches the coordinator growing a slow hot path.
+    sweep_names = list(PROBLEMS)
+    with tempfile.TemporaryDirectory(prefix="bench_fleet_cache") as fleet_dir:
+        run_sweep(names=sweep_names, processes=1, cache_dir=fleet_dir)  # warm the tier
+        direct = best_of(
+            lambda: run_sweep(names=sweep_names, processes=1, cache_dir=fleet_dir),
+            repeats=3,
+            inner=1,
+        )
+        fleet_request = api.SweepRequest(
+            problems=tuple(sweep_names), processes=1, cache_dir=fleet_dir
+        )
+        coordinator = SweepCoordinator([LocalNode()])
+        coordinated = best_of(
+            lambda: coordinator.run(fleet_request, sweep_names), repeats=3, inner=1
+        )
+
     measured = {
         f"warm_cache_synthesize_{name}": round(cold[name] / warm[name], 2) for name in PROBLEMS
     }
@@ -97,15 +122,21 @@ def measure() -> dict:
         f"warm_disk_cache_synthesize_{name}": round(cold[name] / warm_disk[name], 2)
         for name in PROBLEMS
     }
+    fleet_measured = round(direct / coordinated, 2)
     return {
         "harness": "benchmarks/_bench_core_timing.py (best-of wall clock, seconds)",
         "ratio_cap": RATIO_CAP,
         "cold_pipeline": {name: cold[name] for name in PROBLEMS},
         "warm_memory_hit": {name: warm[name] for name in PROBLEMS},
         "warm_disk_hit": {name: warm_disk[name] for name in PROBLEMS},
+        "fleet_sweep_direct": direct,
+        "fleet_sweep_coordinated": coordinated,
         "measured_speedup": measured,
         "disk_tier_speedup": disk_tier,
         "speedup": speedup,
+        "speedup_fleet": {
+            "warm_sweep_coordinated_vs_direct": min(fleet_measured, RATIO_CAP)
+        },
     }
 
 

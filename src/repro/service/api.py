@@ -11,7 +11,8 @@ Contracts
 =========
 
 * Requests — :class:`SynthesizeRequest`, :class:`VerifyRequest`,
-  :class:`SweepRequest`.  Validation happens at construction (and again in
+  :class:`SweepRequest`, :class:`SweepSubmitRequest` (the async fleet
+  submission).  Validation happens at construction (and again in
   :meth:`from_json_dict`, which additionally rejects unknown and mistyped
   fields), so a malformed request is an :class:`ApiError` with code
   ``invalid_request`` *before* any synthesis machinery runs.
@@ -19,7 +20,9 @@ Contracts
   per-stage timings, the synthesized definition, an optional verification
   summary), :class:`ProblemInfo` (one registry entry), :class:`SweepResponse`
   / :class:`SweepOutcome` (a parallel sweep), :class:`JobStatus` (one async
-  job's lifecycle), and the cache-stats pair :class:`DiskCacheStats` /
+  job's lifecycle), :class:`SweepJobStatus` / :class:`ShardInfo` (an async
+  sweep's per-shard progress), :class:`ProblemPage` (paginated listings),
+  and the cache-stats pair :class:`DiskCacheStats` /
   :class:`ProcessCacheStats`.
 * Errors — :class:`ApiError`, a structured taxonomy (:data:`ERROR_CODES`)
   with an HTTP status per code and a JSON rendering, so the CLI and the HTTP
@@ -50,6 +53,19 @@ JOB_FAILED = "failed"
 JOB_CANCELLED = "cancelled"
 JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
 
+#: Shard lifecycle states (see :class:`ShardInfo`).  A shard whose node dies
+#: goes back to ``pending`` (with ``retries`` incremented) until retries are
+#: exhausted, so ``failed`` always means "every attempt failed", never "a
+#: node happened to die".
+SHARD_PENDING = "pending"
+SHARD_RUNNING = "running"
+SHARD_DONE = "done"
+SHARD_FAILED = "failed"
+SHARD_STATES = (SHARD_PENDING, SHARD_RUNNING, SHARD_DONE, SHARD_FAILED)
+
+#: Default retry budget per shard (attempts = 1 + DEFAULT_SHARD_RETRIES).
+DEFAULT_SHARD_RETRIES = 2
+
 # ----------------------------------------------------------------- the errors
 #: Error code → HTTP status.  The taxonomy is closed: every failure the
 #: service can surface maps onto exactly one of these codes.
@@ -63,6 +79,7 @@ ERROR_CODES: Dict[str, int] = {
     "timeout": 504,  # the job exceeded its per-job deadline
     "cancelled": 409,  # the job was cancelled before it finished
     "queue_full": 429,  # the bounded job queue rejected the submission
+    "node_unavailable": 503,  # a fleet node stayed unreachable past the retry budget
     "internal": 500,  # anything unexpected (worker crash, server bug)
 }
 
@@ -171,6 +188,10 @@ def job_timeout(seconds: float) -> ApiError:
 
 def job_cancelled(job_id: str) -> ApiError:
     return ApiError("cancelled", f"job {job_id!r} was cancelled", {"job_id": job_id})
+
+
+def node_unavailable(message: str, **detail: object) -> ApiError:
+    return ApiError("node_unavailable", message, detail)
 
 
 def synthesis_failure(exc: BaseException, expected: str = "ok") -> ApiError:
@@ -424,6 +445,130 @@ class SweepRequest:
 
     @classmethod
     def from_json(cls, text: str) -> "SweepRequest":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class SweepSubmitRequest:
+    """Submit a sweep as one async fleet job (``POST /v1/sweeps``).
+
+    The problem-selection fields mirror :class:`SweepRequest` (an empty
+    ``problems`` tuple sweeps the default population); the fleet fields
+    describe how the coordinator shards the work:
+
+    * ``nodes`` — worker base URLs (``http://host:port``).  Empty means run
+      every shard on the coordinator's own local pool.
+    * ``shard_size`` — problems per shard; defaults to striping one shard per
+      node (or one shard total when local-only).
+    * ``max_retries`` — how many times a shard is re-queued after its node
+      fails before the shard is marked ``failed``.
+    """
+
+    problems: Tuple[str, ...] = ()
+    include_all: bool = False
+    processes: Optional[int] = None
+    timeout: Optional[float] = None
+    verify_scale: int = 0
+    cache_dir: Optional[str] = None
+    max_depth: Optional[int] = None
+    nodes: Tuple[str, ...] = ()
+    shard_size: Optional[int] = None
+    max_retries: int = DEFAULT_SHARD_RETRIES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problems", tuple(self.problems))
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        # Shared selection/execution fields obey SweepRequest's rules.
+        self.to_sweep_request()
+        if any(not isinstance(node, str) or not node for node in self.nodes):
+            raise invalid_request("nodes must be non-empty worker base URLs")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise invalid_request("shard_size must be at least 1")
+        if self.max_retries < 0:
+            raise invalid_request("max_retries must be non-negative")
+
+    def to_sweep_request(self) -> SweepRequest:
+        """The equivalent single-node request (what each shard executes)."""
+        return SweepRequest(
+            problems=self.problems,
+            include_all=self.include_all,
+            processes=self.processes,
+            timeout=self.timeout,
+            verify_scale=self.verify_scale,
+            cache_dir=self.cache_dir,
+            max_depth=self.max_depth,
+        )
+
+    @classmethod
+    def from_sweep_request(cls, request: SweepRequest, **fleet: object) -> "SweepSubmitRequest":
+        return cls(
+            problems=request.problems,
+            include_all=request.include_all,
+            processes=request.processes,
+            timeout=request.timeout,
+            verify_scale=request.verify_scale,
+            cache_dir=request.cache_dir,
+            max_depth=request.max_depth,
+            **fleet,
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload = self.to_sweep_request().to_json_dict()
+        if self.nodes:
+            payload["nodes"] = list(self.nodes)
+        if self.shard_size is not None:
+            payload["shard_size"] = self.shard_size
+        if self.max_retries != DEFAULT_SHARD_RETRIES:
+            payload["max_retries"] = self.max_retries
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepSubmitRequest":
+        _check_fields(
+            "SweepSubmitRequest",
+            payload,
+            {
+                "problems",
+                "include_all",
+                "processes",
+                "timeout",
+                "verify_scale",
+                "cache_dir",
+                "max_depth",
+                "nodes",
+                "shard_size",
+                "max_retries",
+            },
+        )
+        base = {
+            name: payload[name]
+            for name in (
+                "problems",
+                "include_all",
+                "processes",
+                "timeout",
+                "verify_scale",
+                "cache_dir",
+                "max_depth",
+            )
+            if name in payload
+        }
+        sweep = SweepRequest.from_json_dict(base)
+        nodes = _field(payload, "nodes", list, default=[])
+        if not all(isinstance(node, str) for node in nodes):
+            raise invalid_request("nodes must be a list of strings")
+        return cls.from_sweep_request(
+            sweep,
+            nodes=tuple(nodes),
+            shard_size=_opt_field(payload, "shard_size", int),
+            max_retries=_field(payload, "max_retries", int, default=DEFAULT_SHARD_RETRIES),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSubmitRequest":
         return cls.from_json_dict(_parse_json_object(text))
 
 
@@ -755,6 +900,25 @@ class SweepOutcome:
             stage_seconds=_field(payload, "stage_seconds", dict, default={}),
         )
 
+    def to_stable_json_dict(self) -> Dict[str, object]:
+        """The deterministic projection: everything except timings/placement.
+
+        Two runs of the same problem must render byte-identically here no
+        matter which node ran them or how warm its caches were — the fleet's
+        "merged results are byte-identical to a single-node run" acceptance
+        check compares exactly this projection.
+        """
+        return {
+            "name": self.name,
+            "status": self.status,
+            "expected": self.expected,
+            "expression": self.expression,
+            "expression_size": self.expression_size,
+            "proof_size": self.proof_size,
+            "verified": self.verified,
+            "error": self.error,
+        }
+
 
 @dataclass(frozen=True)
 class SweepResponse:
@@ -800,11 +964,206 @@ class SweepResponse:
             ),
         )
 
+    def to_stable_json_dict(self) -> Dict[str, object]:
+        """Deterministic projection of the whole sweep (see ``SweepOutcome``)."""
+        return {
+            "counts": dict(self.counts),
+            "ok": self.ok,
+            "jobs": [job.to_stable_json_dict() for job in self.jobs],
+        }
+
+    def to_stable_json(self) -> str:
+        return json.dumps(self.to_stable_json_dict(), indent=2)
+
     def to_json(self) -> str:
         return json.dumps(self.to_json_dict(), indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepResponse":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One sweep shard's placement and lifecycle snapshot.
+
+    ``node`` is the display name of the node the shard last ran on (empty
+    while pending and never dispatched).  ``retries`` counts re-queues after
+    node failures; ``error`` is set when the shard exhausted its retries.
+    """
+
+    index: int
+    state: str
+    problems: Tuple[str, ...] = ()
+    node: str = ""
+    retries: int = 0
+    error: Optional[ErrorInfo] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problems", tuple(self.problems))
+        if self.state not in SHARD_STATES:
+            raise invalid_request(f"unknown shard state {self.state!r}")
+        if self.index < 0:
+            raise invalid_request("shard index must be non-negative")
+        if self.retries < 0:
+            raise invalid_request("shard retries must be non-negative")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "index": self.index,
+            "state": self.state,
+            "problems": list(self.problems),
+            "node": self.node,
+            "retries": self.retries,
+        }
+        if self.error is not None:
+            payload["error"] = self.error.to_json_dict()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ShardInfo":
+        _check_fields(
+            "ShardInfo", payload, {"index", "state", "problems", "node", "retries", "error"}
+        )
+        problems = _field(payload, "problems", list, default=[])
+        if not all(isinstance(name, str) for name in problems):
+            raise invalid_request("shard problems must be a list of strings")
+        error = payload.get("error")
+        return cls(
+            index=_field(payload, "index", int),
+            state=_field(payload, "state", str),
+            problems=tuple(problems),
+            node=_field(payload, "node", str, default=""),
+            retries=_field(payload, "retries", int, default=0),
+            error=ErrorInfo.from_json_dict(error) if error is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SweepJobStatus:
+    """One asynchronous *sweep* job's lifecycle + per-shard progress.
+
+    The sweep-level analogue of :class:`JobStatus`: ``state`` walks the same
+    ``queued → running → done | failed | cancelled`` lattice, ``shards``
+    reports placement/retry progress while running, ``result`` carries the
+    merged :class:`SweepResponse` on ``done`` and ``error`` the terminal
+    failure otherwise.
+    """
+
+    id: str
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    shards: Tuple[ShardInfo, ...] = ()
+    result: Optional[SweepResponse] = None
+    error: Optional[ErrorInfo] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shards", tuple(self.shards))
+        if self.state not in JOB_STATES:
+            raise invalid_request(f"unknown job state {self.state!r}")
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        payload["shards"] = [shard.to_json_dict() for shard in self.shards]
+        if self.result is not None:
+            payload["result"] = self.result.to_json_dict()
+        if self.error is not None:
+            payload["error"] = self.error.to_json_dict()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepJobStatus":
+        _check_fields(
+            "SweepJobStatus",
+            payload,
+            {
+                "id",
+                "state",
+                "submitted_at",
+                "started_at",
+                "finished_at",
+                "shards",
+                "result",
+                "error",
+            },
+        )
+        result = payload.get("result")
+        error = payload.get("error")
+        return cls(
+            id=_field(payload, "id", str),
+            state=_field(payload, "state", str),
+            submitted_at=_field(payload, "submitted_at", float),
+            started_at=_opt_field(payload, "started_at", float),
+            finished_at=_opt_field(payload, "finished_at", float),
+            shards=tuple(
+                ShardInfo.from_json_dict(shard)
+                for shard in _field(payload, "shards", list, default=[])
+            ),
+            result=SweepResponse.from_json_dict(result) if result is not None else None,
+            error=ErrorInfo.from_json_dict(error) if error is not None else None,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepJobStatus":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class ProblemPage:
+    """One page of registry entries (``GET /v1/problems`` with ``limit``).
+
+    ``next_cursor`` is an opaque token for the next page; ``None`` means the
+    listing is exhausted.  Ordering is stable (registration order), so pages
+    taken across requests tile the registry without gaps or duplicates.
+    """
+
+    problems: Tuple[ProblemInfo, ...] = ()
+    next_cursor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "problems", tuple(self.problems))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "problems": [info.to_json_dict() for info in self.problems]
+        }
+        if self.next_cursor is not None:
+            payload["next_cursor"] = self.next_cursor
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ProblemPage":
+        _check_fields("ProblemPage", payload, {"problems", "next_cursor"})
+        return cls(
+            problems=tuple(
+                ProblemInfo.from_json_dict(info)
+                for info in _field(payload, "problems", list, default=[])
+            ),
+            next_cursor=_opt_field(payload, "next_cursor", str),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProblemPage":
         return cls.from_json_dict(_parse_json_object(text))
 
 
@@ -863,25 +1222,39 @@ class CacheEntryInfo:
 
 @dataclass(frozen=True)
 class DiskCacheStats:
-    """Persistent-tier inventory of a cache directory."""
+    """Persistent-tier inventory of a cache directory.
+
+    ``next_cursor`` is set when the entry listing was paginated (``limit``
+    query param): an opaque token for the next page, omitted from the JSON
+    rendering when the listing is complete so unpaginated responses render
+    exactly as they did before pagination existed.
+    """
 
     cache_dir: str
     entries: Tuple[CacheEntryInfo, ...] = ()
     total_payload_bytes: int = 0
+    next_cursor: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "entries", tuple(self.entries))
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "cache_dir": self.cache_dir,
             "entries": [entry.to_json_dict() for entry in self.entries],
             "total_payload_bytes": self.total_payload_bytes,
         }
+        if self.next_cursor is not None:
+            payload["next_cursor"] = self.next_cursor
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: Mapping[str, object]) -> "DiskCacheStats":
-        _check_fields("DiskCacheStats", payload, {"cache_dir", "entries", "total_payload_bytes"})
+        _check_fields(
+            "DiskCacheStats",
+            payload,
+            {"cache_dir", "entries", "total_payload_bytes", "next_cursor"},
+        )
         return cls(
             cache_dir=_field(payload, "cache_dir", str),
             entries=tuple(
@@ -889,6 +1262,7 @@ class DiskCacheStats:
                 for entry in _field(payload, "entries", list, default=[])
             ),
             total_payload_bytes=_field(payload, "total_payload_bytes", int, default=0),
+            next_cursor=_opt_field(payload, "next_cursor", str),
         )
 
     def to_json(self) -> str:
@@ -954,13 +1328,17 @@ CONTRACT_TYPES = (
     SynthesizeRequest,
     VerifyRequest,
     SweepRequest,
+    SweepSubmitRequest,
     ProblemInfo,
+    ProblemPage,
     StageReport,
     VerificationSummary,
     SynthesisResult,
     JobStatus,
     SweepOutcome,
     SweepResponse,
+    ShardInfo,
+    SweepJobStatus,
     CacheEntryInfo,
     DiskCacheStats,
     ProcessCacheStats,

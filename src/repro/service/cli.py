@@ -8,11 +8,14 @@ Subcommands::
     python -m repro verify      NAME [--scale N] [--max-depth N] [--json]
     python -m repro sweep       [NAME ...] [--all] [--processes N]
                                 [--timeout S] [--verify-scale N]
-                                [--cache-dir D] [--max-depth N] [--json]
+                                [--cache-dir D] [--max-depth N]
+                                [--url U] [--node U ...] [--shard-size N]
+                                [--max-retries N] [--json]
     python -m repro cache-stats [--cache-dir D] [--json]
     python -m repro serve       [--host H] [--port P] [--cache-dir D]
                                 [--max-workers N] [--queue-limit N]
-                                [--job-timeout S]
+                                [--job-timeout S] [--node-id ID]
+                                [--worker-node U ...]
     python -m repro client      [--url U] health|list|synthesize|job|cancel|
                                 cache-stats ...
 
@@ -22,6 +25,15 @@ Every subcommand is a thin client of the typed service API
 :class:`~repro.service.server.SynthesisService`, and render the typed
 response; ``client`` sends the same requests to a running ``repro serve``
 over HTTP and renders the same responses, so local and remote output match.
+
+``sweep`` is a **submit-then-poll client** of the async sweep engine: it
+submits a :class:`~repro.service.api.SweepSubmitRequest` (to the in-process
+service, or with ``--url`` to a running coordinator over ``POST
+/v1/sweeps``), polls per-shard progress until the job is terminal, and
+renders the merged :class:`~repro.service.api.SweepResponse` exactly as the
+old inline sweep did — same text, same ``--json`` document.  ``--node``
+registers remote worker nodes for the sweep; ``serve --worker-node`` does
+the same for every sweep a server coordinates.
 
 Everything prints human-readable text by default; ``--json`` switches every
 subcommand to a machine-readable JSON document on stdout (one object).
@@ -123,6 +135,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--verify-scale", type=int, default=0)
     sweep_parser.add_argument("--cache-dir", default=None)
     sweep_parser.add_argument("--max-depth", type=int, default=None)
+    sweep_parser.add_argument(
+        "--url",
+        default=None,
+        help="submit to a running `repro serve` coordinator instead of in-process",
+    )
+    sweep_parser.add_argument(
+        "--node",
+        action="append",
+        dest="nodes",
+        metavar="URL",
+        help="worker node base URL to shard across (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--shard-size", type=int, default=None, help="problems per shard"
+    )
+    sweep_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=api.DEFAULT_SHARD_RETRIES,
+        help="re-queues per shard after node failures (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between remote job polls (with --url)",
+    )
     sweep_parser.add_argument("--json", action="store_true", dest="as_json")
 
     stats_parser = subparsers.add_parser(
@@ -145,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--job-timeout", type=float, default=None, help="default per-job seconds"
+    )
+    serve_parser.add_argument(
+        "--node-id", default=None, help="stable node identity (default: hostname-pid)"
+    )
+    serve_parser.add_argument(
+        "--worker-node",
+        action="append",
+        dest="worker_nodes",
+        metavar="URL",
+        help="worker node base URL this server coordinates sweeps across (repeatable)",
     )
 
     client_parser = subparsers.add_parser(
@@ -320,8 +369,7 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    service = SynthesisService()
-    request = api.SweepRequest(
+    request = api.SweepSubmitRequest(
         problems=tuple(args.names),
         include_all=bool(args.all and not args.names),
         processes=args.processes,
@@ -329,8 +377,55 @@ def _cmd_sweep(args) -> int:
         verify_scale=args.verify_scale,
         cache_dir=args.cache_dir,
         max_depth=args.max_depth,
+        nodes=tuple(args.nodes or ()),
+        shard_size=args.shard_size,
+        max_retries=args.max_retries,
     )
-    return _render_sweep(service.sweep(request), args.as_json)
+    if args.url:
+        response = _remote_sweep(args.url, request, args.poll_interval)
+    else:
+        response = _local_sweep(request)
+    return _render_sweep(response, args.as_json)
+
+
+def _local_sweep(request: api.SweepSubmitRequest) -> api.SweepResponse:
+    """Submit-then-poll against an in-process service (no server needed)."""
+    import asyncio
+
+    service = SynthesisService()
+
+    async def _run() -> api.SweepJobStatus:
+        status = await service.submit_sweep(request)
+        return await service.wait_sweep(status.id)
+
+    status = asyncio.run(_run())
+    if status.error is not None:
+        raise api.ApiError.from_info(status.error)
+    if status.result is None:
+        raise api.ApiError("internal", f"sweep {status.id} finished without a result")
+    return status.result
+
+
+def _remote_sweep(
+    url: str, request: api.SweepSubmitRequest, poll_interval: float
+) -> api.SweepResponse:
+    """Submit to ``POST /v1/sweeps`` on a coordinator, poll until terminal."""
+    import time
+
+    base = url.rstrip("/")
+    payload = _http(
+        f"{base}/{api.API_VERSION}/sweeps", method="POST", payload=request.to_json_dict()
+    )
+    status = api.SweepJobStatus.from_json_dict(payload)
+    while not status.finished:
+        time.sleep(max(poll_interval, 0.01))
+        payload = _http(f"{base}/{api.API_VERSION}/sweeps/{quote(status.id)}")
+        status = api.SweepJobStatus.from_json_dict(payload)
+    if status.error is not None:
+        raise _cli_error(api.ApiError.from_info(status.error))
+    if status.result is None:
+        raise CliError(f"sweep {status.id} finished without a result", code=1)
+    return status.result
 
 
 def _cmd_cache_stats(args) -> int:
@@ -346,12 +441,16 @@ def _cmd_serve(args) -> int:
         max_workers=args.max_workers,
         queue_limit=args.queue_limit if args.queue_limit is not None else DEFAULT_QUEUE_LIMIT,
         default_job_timeout=args.job_timeout,
+        node_id=args.node_id,
+        worker_nodes=tuple(args.worker_nodes or ()),
     )
 
     def announce(port: int) -> None:
+        role = "coordinator" if service.worker_nodes else "worker"
         print(
             f"repro service listening on http://{args.host}:{port} "
-            f"({len(service.registry)} problems, {service.max_workers} workers)",
+            f"({len(service.registry)} problems, {service.max_workers} workers, "
+            f"node {service.node_id} as {role})",
             flush=True,
         )
 

@@ -1,0 +1,433 @@
+"""Fleet coordination: shard one sweep across nodes, merge deterministically.
+
+The ROADMAP's distributed-fleet item, made concrete: a
+:class:`SweepCoordinator` splits a sweep's problem list into shards, runs
+each shard on a registered :class:`WorkerNode` — the coordinator's own
+process pool (:class:`LocalNode`) and/or remote ``repro serve`` instances
+(:class:`HttpNode`) — and merges the outcomes back into one
+:class:`~repro.service.api.SweepResponse` in the original request order.
+
+Coordination invariants
+=======================
+
+* **Failure isolation.**  A node that dies mid-shard (connection refused,
+  torn response, timeout) loses only that dispatch: the shard goes back to
+  the queue with its ``retries`` counter bumped and runs on another node
+  (or the same node once it recovers).  One dead node never fails the sweep.
+* **Bounded retry with backoff.**  Each shard is re-queued at most
+  ``max_retries`` times, with a linear backoff between attempts.  Only when
+  a shard exhausts its budget — or no live nodes remain — does the sweep
+  surface the typed ``node_unavailable`` :class:`~repro.service.api.ApiError`.
+* **Per-shard timeouts.**  A dispatch past ``shard_timeout`` is abandoned
+  (its node retired from rotation — a wedged node must not absorb retries)
+  and the shard re-queued like any other node failure.
+* **Deterministic merge.**  Shards carry the *global indices* of their
+  problems; merged jobs come back in exactly the order of the submitted
+  list, whatever order shards finished in.  Aggregates (``counts``,
+  ``cache_hits``, ``ok``) are recomputed from the merged outcomes, so a
+  fleet sweep and a single-node sweep of the same request agree on the
+  stable projection (:meth:`api.SweepResponse.to_stable_json_dict`).
+
+Correctness leans on the cache layer: synthesis is pure and results are
+content-addressed, so *where* a problem ran cannot change its outcome, and
+nodes sharing a ``cache_dir`` deduplicate synthesis work through the disk
+tier guarded by the shared manifest (:mod:`repro.service.manifest`).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.service import api
+from repro.service.workers import run_sweep
+
+#: Socket timeout for one shard dispatch to a remote node (a cold shard can
+#: run proof search for a while; this guards against a *wedged* node, not a
+#: slow one — tune with ``SweepCoordinator(shard_timeout=...)`` instead).
+DEFAULT_NODE_TIMEOUT = 300.0
+
+#: Consecutive failures after which a node is retired from the rotation.
+NODE_FAILURE_LIMIT = 3
+
+#: Base of the linear backoff between a shard's retry attempts (seconds).
+DEFAULT_BACKOFF_SECONDS = 0.05
+
+
+class NodeFailure(Exception):
+    """A node could not run its shard (dead, unreachable, torn response).
+
+    Raising this is a *node* verdict, never a *problem* verdict — problem
+    failures come back inside the shard's :class:`~repro.service.api.
+    SweepOutcome` records, with the sweep itself succeeding.
+    """
+
+    def __init__(self, node: str, reason: str) -> None:
+        super().__init__(f"node {node!r}: {reason}")
+        self.node = node
+        self.reason = reason
+
+
+class LocalNode:
+    """A worker node backed by this process's own sweep pool.
+
+    The degenerate fleet: every shard runs through
+    :func:`repro.service.workers.run_sweep` locally.  Useful on its own
+    (a coordinator with no remote nodes behaves exactly like PR 3's sweep)
+    and as the coordinator's share of a mixed fleet.
+    """
+
+    def __init__(self, name: str = "local") -> None:
+        self.name = name
+
+    def run_shard(
+        self, names: Sequence[str], request: api.SweepRequest
+    ) -> api.SweepResponse:
+        try:
+            summary = run_sweep(
+                names=list(names),
+                processes=request.processes,
+                timeout=request.timeout,
+                cache_dir=request.cache_dir,
+                max_depth=request.max_depth,
+                verify_scale=request.verify_scale,
+            )
+        except Exception as exc:  # noqa: BLE001 - a pool crash is a node failure
+            raise NodeFailure(self.name, f"{type(exc).__name__}: {exc}") from exc
+        return summary.to_api()
+
+
+class HttpNode:
+    """A worker node behind a remote ``repro serve`` instance.
+
+    Dispatches a shard as ``POST /v1/sweeps?wait=1`` — the synchronous
+    compatibility path, which returns the shard's full
+    :class:`~repro.service.api.SweepResponse` in one round trip.  Every
+    transport failure (refused, reset, timeout, torn/invalid body, HTTP
+    error status) is a :class:`NodeFailure`, so the coordinator re-queues
+    the shard instead of failing the sweep.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        name: Optional[str] = None,
+        request_timeout: float = DEFAULT_NODE_TIMEOUT,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.name = name or (urlsplit(self.base_url).netloc or self.base_url)
+        self.request_timeout = request_timeout
+
+    def run_shard(
+        self, names: Sequence[str], request: api.SweepRequest
+    ) -> api.SweepResponse:
+        shard_request = api.SweepRequest(
+            problems=tuple(names),
+            processes=request.processes,
+            timeout=request.timeout,
+            verify_scale=request.verify_scale,
+            cache_dir=request.cache_dir,
+            max_depth=request.max_depth,
+        )
+        url = f"{self.base_url}/{api.API_VERSION}/sweeps?wait=1"
+        body = shard_request.to_json().encode("utf-8")
+        http_request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=self.request_timeout) as raw:
+                payload = raw.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")[:500]
+            raise NodeFailure(self.name, f"HTTP {exc.code}: {detail}") from exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            raise NodeFailure(self.name, f"{type(exc).__name__}: {exc}") from exc
+        try:
+            return api.SweepResponse.from_json(payload)
+        except (api.ApiError, ValueError) as exc:
+            raise NodeFailure(self.name, f"unparseable sweep response: {exc}") from exc
+
+
+@dataclass
+class _Shard:
+    """Coordinator-side mutable record of one shard (snapshots go out typed)."""
+
+    index: int
+    indices: Tuple[int, ...]
+    names: Tuple[str, ...]
+    state: str = api.SHARD_PENDING
+    node: str = ""
+    retries: int = 0
+    error: Optional[api.ErrorInfo] = None
+    outcomes: Tuple[api.SweepOutcome, ...] = ()
+    processes: int = 1
+    #: Nodes that already failed this shard — avoided on re-dispatch while
+    #: another node could take it, so a fast-failing dead node cannot burn
+    #: the whole retry budget before the survivors get a turn.
+    failed_on: set = field(default_factory=set)
+
+    def snapshot(self) -> api.ShardInfo:
+        return api.ShardInfo(
+            index=self.index,
+            state=self.state,
+            problems=self.names,
+            node=self.node,
+            retries=self.retries,
+            error=self.error,
+        )
+
+
+class SweepCoordinator:
+    """Shard a sweep over worker nodes; retry, isolate failures, merge.
+
+    ``nodes`` is any non-empty sequence of objects with ``.name`` and
+    ``.run_shard(names, request) -> SweepResponse`` (raising
+    :class:`NodeFailure` when the node itself is at fault) —
+    :class:`LocalNode`, :class:`HttpNode`, or test doubles.
+
+    ``on_update`` (optional) is called with a tuple of
+    :class:`~repro.service.api.ShardInfo` snapshots after every shard state
+    transition; the async server uses it to publish per-shard progress on
+    ``GET /v1/sweeps/<id>`` while the sweep runs.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[object],
+        shard_size: Optional[int] = None,
+        max_retries: int = api.DEFAULT_SHARD_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        shard_timeout: Optional[float] = None,
+        node_failure_limit: int = NODE_FAILURE_LIMIT,
+        on_update: Optional[Callable[[Tuple[api.ShardInfo, ...]], None]] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a coordinator needs at least one worker node")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        self.nodes = list(nodes)
+        self.shard_size = shard_size
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.shard_timeout = shard_timeout
+        self.node_failure_limit = node_failure_limit
+        self.on_update = on_update
+        self._shards: List[_Shard] = []
+
+    # ---------------------------------------------------------------- planning
+    def plan(self, names: Sequence[str]) -> List[_Shard]:
+        """Deterministic contiguous shards of ``shard_size`` problems each.
+
+        The default size stripes one shard per node; passing a smaller
+        ``shard_size`` makes more, finer shards — better balance and smaller
+        retry units at the cost of more dispatches.
+        """
+        size = self.shard_size or max(1, ceil(len(names) / len(self.nodes)))
+        return [
+            _Shard(
+                index=shard_index,
+                indices=tuple(range(start, min(start + size, len(names)))),
+                names=tuple(names[start : start + size]),
+            )
+            for shard_index, start in enumerate(range(0, len(names), size))
+        ]
+
+    def shard_snapshots(self) -> Tuple[api.ShardInfo, ...]:
+        return tuple(shard.snapshot() for shard in self._shards)
+
+    def _notify(self) -> None:
+        if self.on_update is not None:
+            self.on_update(self.shard_snapshots())
+
+    # --------------------------------------------------------------- execution
+    def run(self, request: api.SweepRequest, names: Sequence[str]) -> api.SweepResponse:
+        """Run the sweep of ``names`` (already resolved) across the fleet.
+
+        Blocking — the async server calls it from an executor thread.
+        Raises :class:`~repro.service.api.ApiError` (``node_unavailable``)
+        only when some shard could not be completed by *any* node within its
+        retry budget; per-problem failures ride home inside the response.
+        """
+        names = list(names)
+        start = time.perf_counter()
+        self._shards = self.plan(names)
+        self._notify()
+        pending: "deque[_Shard]" = deque(self._shards)
+        alive: List[object] = list(self.nodes)
+        busy: Dict[object, bool] = {}
+        failures: Dict[str, int] = {}
+        in_flight: Dict[concurrent.futures.Future, Tuple[_Shard, object, Optional[float]]] = {}
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, len(self.nodes)), thread_name_prefix="fleet-shard"
+        )
+        try:
+            while pending or in_flight:
+                if not alive and pending:
+                    # Every node retired: fail the shards nobody can take.
+                    while pending:
+                        self._fail_shard(pending.popleft(), "no live worker nodes remain")
+                    self._notify()
+                for node in alive:
+                    if not pending:
+                        break
+                    if busy.get(id(node)):
+                        continue
+                    shard = self._pick_shard(pending, node, only_node=len(alive) == 1)
+                    if shard is None:
+                        continue
+                    shard.state = api.SHARD_RUNNING
+                    shard.node = getattr(node, "name", str(node))
+                    deadline = (
+                        None
+                        if self.shard_timeout is None
+                        else time.monotonic() + self.shard_timeout
+                    )
+                    future = executor.submit(node.run_shard, shard.names, request)
+                    in_flight[future] = (shard, node, deadline)
+                    busy[id(node)] = True
+                    self._notify()
+                if not in_flight:
+                    if pending and alive:
+                        # Every free node has already failed every pending
+                        # shard.  Nobody else is coming: clear the avoid
+                        # sets so the survivors try again (the per-shard
+                        # retry budget still bounds total attempts).
+                        for shard in pending:
+                            shard.failed_on.clear()
+                    continue
+                done, _ = concurrent.futures.wait(
+                    list(in_flight),
+                    timeout=0.05,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    shard, node, _deadline = in_flight.pop(future)
+                    busy[id(node)] = False
+                    try:
+                        response = future.result()
+                    except NodeFailure as exc:
+                        self._node_failed(node, alive, failures)
+                        self._retry_or_fail(shard, pending, exc.reason)
+                    except Exception as exc:  # noqa: BLE001 - same as a node death
+                        self._node_failed(node, alive, failures)
+                        self._retry_or_fail(shard, pending, f"{type(exc).__name__}: {exc}")
+                    else:
+                        failures[getattr(node, "name", str(node))] = 0
+                        shard.state = api.SHARD_DONE
+                        shard.outcomes = response.jobs
+                        shard.processes = response.processes
+                    self._notify()
+                now = time.monotonic()
+                for future, (shard, node, deadline) in list(in_flight.items()):
+                    if deadline is None or now <= deadline or future.done():
+                        continue
+                    # The dispatch thread cannot be killed; abandon it and
+                    # retire the node so the wedged slot absorbs no retries.
+                    in_flight.pop(future)
+                    if node in alive:
+                        alive.remove(node)
+                    self._retry_or_fail(
+                        shard,
+                        pending,
+                        f"shard exceeded its timeout of {self.shard_timeout:.1f}s "
+                        f"on node {shard.node!r}",
+                    )
+                    self._notify()
+        finally:
+            executor.shutdown(wait=False)
+        failed = [shard for shard in self._shards if shard.state == api.SHARD_FAILED]
+        if failed:
+            raise api.node_unavailable(
+                f"{len(failed)} shard(s) exhausted their retry budget "
+                f"({self.max_retries} retries)",
+                shards=[shard.index for shard in failed],
+                reasons=[shard.error.message for shard in failed if shard.error],
+            )
+        return self._merge(names, time.perf_counter() - start)
+
+    def _pick_shard(
+        self, pending: "deque[_Shard]", node: object, only_node: bool
+    ) -> Optional[_Shard]:
+        """Next shard for ``node``: prefer one this node has not failed yet.
+
+        A dead node fails instantly and frees up first, so without this
+        preference it would re-grab the shard it just dropped and burn the
+        shard's whole retry budget before any healthy node got a turn.  The
+        last live node (``only_node``) takes anything — there is nobody to
+        save the shard for.
+        """
+        name = getattr(node, "name", str(node))
+        for position, shard in enumerate(pending):
+            if only_node or name not in shard.failed_on:
+                del pending[position]
+                return shard
+        return None
+
+    # ----------------------------------------------------------- failure paths
+    def _node_failed(self, node: object, alive: List[object], failures: Dict[str, int]) -> None:
+        name = getattr(node, "name", str(node))
+        failures[name] = failures.get(name, 0) + 1
+        if failures[name] >= self.node_failure_limit and node in alive:
+            alive.remove(node)
+
+    def _retry_or_fail(self, shard: _Shard, pending: "deque[_Shard]", reason: str) -> None:
+        shard.failed_on.add(shard.node)
+        shard.retries += 1
+        if shard.retries > self.max_retries:
+            self._fail_shard(shard, reason)
+            return
+        shard.state = api.SHARD_PENDING
+        if self.backoff_seconds:
+            time.sleep(self.backoff_seconds * shard.retries)
+        pending.append(shard)
+
+    def _fail_shard(self, shard: _Shard, reason: str) -> None:
+        shard.state = api.SHARD_FAILED
+        shard.error = api.node_unavailable(
+            f"shard {shard.index} failed after {shard.retries} retr"
+            f"{'y' if shard.retries == 1 else 'ies'}: {reason}",
+            shard=shard.index,
+        ).info
+
+    # ----------------------------------------------------------------- merging
+    def _merge(self, names: Sequence[str], wall_seconds: float) -> api.SweepResponse:
+        outcomes: Dict[int, api.SweepOutcome] = {}
+        processes = 1
+        for shard in self._shards:
+            # A worker returns outcomes in submission order, so they zip with
+            # the shard's global indices positionally.
+            for global_index, outcome in zip(shard.indices, shard.outcomes):
+                outcomes[global_index] = outcome
+            processes = max(processes, shard.processes)
+        jobs = tuple(outcomes[index] for index in range(len(names)))
+        counts: Dict[str, int] = {}
+        for outcome in jobs:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return api.SweepResponse(
+            wall_seconds=round(wall_seconds, 6),
+            processes=processes,
+            counts=counts,
+            cache_hits=sum(1 for o in jobs if o.cache_tier in ("memory", "disk")),
+            ok=not any(o.status != "ok" and o.expected == "ok" for o in jobs),
+            jobs=jobs,
+        )
+
+
+def nodes_from_urls(urls: Sequence[str], include_local: bool = False) -> List[object]:
+    """Build the node list for a coordinator from worker base URLs.
+
+    ``include_local`` appends the coordinator's own :class:`LocalNode` so it
+    takes a share of the shards; with no URLs at all the local node is
+    always included (a coordinator must have at least one node).
+    """
+    nodes: List[object] = [HttpNode(url) for url in urls]
+    if include_local or not nodes:
+        nodes.append(LocalNode())
+    return nodes

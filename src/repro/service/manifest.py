@@ -1,0 +1,213 @@
+"""The shared cache manifest: a generation counter fleet nodes agree on.
+
+A sweep fleet shares one persistent cache directory (the disk tier of
+:class:`repro.service.cache.SynthesisCache`).  Disk entries are
+content-addressed and synthesis is pure, so the *entries* can never be wrong —
+but each node also keeps a private in-memory tier warmed from that directory,
+and nothing told those memory tiers when another node invalidated or evicted
+shared state.  PR 3's follow-on asked for exactly this piece: a **manifest
+with generation counters** so a fleet invalidates and warms cooperatively
+instead of racing.
+
+``manifest.json`` lives beside the cache entries::
+
+    {"generation": 7, "node_id": "worker-2", "updated_at": 1754650000.0}
+
+* :meth:`CacheManifest.read` — current state; a missing or torn file reads as
+  generation ``0`` (a fresh directory), never as an error.
+* :meth:`CacheManifest.bump` — atomically increment the generation.  The
+  increment is a read-modify-write under an ``O_EXCL`` lock file, so two
+  coordinators bumping concurrently serialize: each sees a distinct
+  generation and no increment is lost.  Passing ``expected`` turns the bump
+  into a CAS — it raises :class:`ManifestConflict` when another node moved
+  the generation first, instead of silently stacking increments.
+* :meth:`CacheManifest.stamp` — an ``os.stat`` fingerprint of the manifest
+  file, so hot paths (every cache lookup) can detect "nothing changed"
+  without reading or parsing the file.
+
+:class:`~repro.service.cache.SynthesisCache` records the generation its
+memory tier was warmed under; on skew (another node bumped) it drops the
+memory tier and re-warms from disk — the cooperative invalidation protocol
+the fleet coordinator relies on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+#: File name of the manifest, beside the cache entries.
+MANIFEST_NAME = "manifest.json"
+
+#: A crashed writer can leave the lock behind; older than this it is reaped.
+STALE_LOCK_SECONDS = 30.0
+
+#: How long :meth:`CacheManifest.bump` waits for the lock before giving up.
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+
+class ManifestConflict(Exception):
+    """A CAS bump lost the race: the generation moved under the caller."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"manifest generation moved: expected {expected}, found {actual}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+@dataclass(frozen=True)
+class ManifestState:
+    """One observed manifest state (immutable snapshot)."""
+
+    generation: int = 0
+    node_id: str = ""
+    updated_at: float = 0.0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "node_id": self.node_id,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "ManifestState":
+        """Tolerant parse: anything malformed reads as the zero state."""
+        if not isinstance(payload, dict):
+            return cls()
+        generation = payload.get("generation")
+        if not isinstance(generation, int) or isinstance(generation, bool) or generation < 0:
+            return cls()
+        node_id = payload.get("node_id")
+        updated_at = payload.get("updated_at")
+        return cls(
+            generation=generation,
+            node_id=node_id if isinstance(node_id, str) else "",
+            updated_at=float(updated_at) if isinstance(updated_at, (int, float)) else 0.0,
+        )
+
+
+class CacheManifest:
+    """``manifest.json`` beside a cache directory, with atomic CAS bumps."""
+
+    def __init__(
+        self, cache_dir: os.PathLike, lock_timeout: float = DEFAULT_LOCK_TIMEOUT
+    ) -> None:
+        self.path = Path(cache_dir) / MANIFEST_NAME
+        self.lock_path = self.path.parent / f"{MANIFEST_NAME}.lock"
+        self.lock_timeout = lock_timeout
+
+    # ------------------------------------------------------------------ reads
+    def stamp(self) -> Optional[Tuple[int, int]]:
+        """A cheap change fingerprint of the manifest file (or ``None``).
+
+        Every bump atomically replaces the file, so ``(st_mtime_ns, st_ino)``
+        changes on every write; hot paths compare stamps instead of parsing
+        JSON on every cache lookup.
+        """
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_ino)
+
+    def read(self) -> ManifestState:
+        """Current manifest state; missing or torn files read as generation 0."""
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return ManifestState()
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            return ManifestState()
+        return ManifestState.from_json_dict(payload)
+
+    def generation(self) -> int:
+        return self.read().generation
+
+    # ------------------------------------------------------------------ bumps
+    def bump(self, node_id: str = "", expected: Optional[int] = None) -> ManifestState:
+        """Atomically increment the generation; returns the new state.
+
+        ``expected`` makes the bump a compare-and-swap: when the current
+        generation differs, :class:`ManifestConflict` is raised and nothing is
+        written.  Without it the bump is a fetch-and-add — concurrent bumps
+        serialize through the lock file and every increment survives.
+        """
+        with self._locked():
+            state = self.read()
+            if expected is not None and state.generation != expected:
+                raise ManifestConflict(expected, state.generation)
+            new_state = ManifestState(
+                generation=state.generation + 1,
+                node_id=node_id,
+                updated_at=time.time(),
+            )
+            self._write(new_state)
+            return new_state
+
+    # ------------------------------------------------------------------ guts
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold ``manifest.json.lock`` (``O_EXCL`` create = mutual exclusion).
+
+        The lock directory is the cache directory itself, so every process
+        sharing the cache — local or over a shared filesystem — contends on
+        the same file.  A lock older than :data:`STALE_LOCK_SECONDS` belongs
+        to a crashed writer and is reaped.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                self._reap_stale_lock()
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire manifest lock {self.lock_path} "
+                        f"within {self.lock_timeout:.1f}s"
+                    )
+                time.sleep(0.005)
+        try:
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+
+    def _reap_stale_lock(self) -> None:
+        try:
+            if time.time() - os.stat(self.lock_path).st_mtime > STALE_LOCK_SECONDS:
+                os.unlink(self.lock_path)
+        except OSError:
+            pass
+
+    def _write(self, state: ManifestState) -> None:
+        """Write-then-rename, same torn-read discipline as the cache entries."""
+        data = (json.dumps(state.to_json_dict(), indent=2) + "\n").encode()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=MANIFEST_NAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -222,7 +222,12 @@ class SynthesisPipeline:
             start = time.perf_counter()
             result, tier = self.cache.lookup(problem)
             report.cache_tier = tier
-            stages.append(StageTiming(STAGE_CACHE_LOOKUP, time.perf_counter() - start, {"tier": tier}))
+            detail: Dict[str, object] = {"tier": tier}
+            if self.cache.manifest is not None:
+                # Fleet provenance: which shared-manifest generation this
+                # lookup ran under (the lookup itself just synced it).
+                detail["manifest_generation"] = self.cache._manifest_generation
+            stages.append(StageTiming(STAGE_CACHE_LOOKUP, time.perf_counter() - start, detail))
 
         # -------- formula-compile: persisted program, node cache, or fresh.
         # The compiled specification backs the verification stage (and any

@@ -35,39 +35,62 @@ over ``asyncio.start_server`` (one JSON document per request/response,
 ``Connection: close``) — enough surface for the v1 API without pulling in a
 framework the environment does not ship:
 
-=========  ==============================  =====================================
-method     path                            body / response
-=========  ==============================  =====================================
-GET        ``/healthz``                    liveness + job/cache counters
-GET        ``/v1/problems[?tag=T]``        list of :class:`api.ProblemInfo`
-POST       ``/v1/synthesize[?wait=1]``     :class:`api.SynthesizeRequest` →
-                                           :class:`api.JobStatus` (202 while
-                                           queued, 200 when finished)
-GET        ``/v1/jobs/<id>``               :class:`api.JobStatus`
-DELETE     ``/v1/jobs/<id>``               cancel → :class:`api.JobStatus`
-GET        ``/v1/cache/stats[?cache_dir]`` :class:`api.DiskCacheStats` /
-                                           :class:`api.ProcessCacheStats`
-=========  ==============================  =====================================
+=========  ==================================  =================================
+method     path                                body / response
+=========  ==================================  =================================
+GET        ``/healthz``                        liveness + job/cache counters +
+                                               node identity (id, role,
+                                               manifest generation, queue depth)
+GET        ``/v1/problems[?tag=T]``            list of :class:`api.ProblemInfo`;
+                                               with ``limit``/``cursor`` a
+                                               :class:`api.ProblemPage`
+POST       ``/v1/synthesize[?wait=1]``         :class:`api.SynthesizeRequest` →
+                                               :class:`api.JobStatus` (202 while
+                                               queued, 200 when finished)
+GET        ``/v1/jobs/<id>``                   :class:`api.JobStatus`
+DELETE     ``/v1/jobs/<id>``                   cancel → :class:`api.JobStatus`
+POST       ``/v1/sweeps[?wait=1]``             :class:`api.SweepSubmitRequest` →
+                                               :class:`api.SweepJobStatus` (202);
+                                               ``wait=1`` blocks and answers the
+                                               legacy :class:`api.SweepResponse`
+GET        ``/v1/sweeps/<id>``                 :class:`api.SweepJobStatus` with
+                                               per-shard progress
+GET        ``/v1/cache/stats[?cache_dir]``     :class:`api.DiskCacheStats` /
+                                               :class:`api.ProcessCacheStats`;
+                                               ``limit``/``cursor`` paginate
+=========  ==================================  =================================
+
+Sweeps are first-class fleet jobs: ``submit_sweep`` plans shards with a
+:class:`~repro.service.fleet.SweepCoordinator` over this service's
+``worker_nodes`` (or the submission's ``nodes``, or the local pool), runs
+the blocking coordinator on an executor thread, and publishes per-shard
+progress snapshots for ``GET /v1/sweeps/<id>`` as the coordinator reports
+transitions.
 """
 
 from __future__ import annotations
 
 import asyncio
+import base64
 import itertools
 import json
 import os
+import socket
 import threading
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service import api
 from repro.service.cache import SynthesisCache, disk_entries
+from repro.service.fleet import SweepCoordinator, nodes_from_urls
 from repro.service.registry import ProblemRegistry, RegistryEntry, default_registry
 from repro.service.workers import (
     execute_synthesize_request,
+    resolve_sweep_names,
     run_request_in_process,
     run_sweep,
 )
@@ -101,6 +124,27 @@ class _Job:
         return self.state in (api.JOB_QUEUED, api.JOB_RUNNING)
 
 
+@dataclass
+class _SweepJob:
+    """Mutable engine-side record of one async *sweep* job."""
+
+    id: str
+    request: api.SweepSubmitRequest
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    shards: Tuple[api.ShardInfo, ...] = ()
+    result: Optional[api.SweepResponse] = None
+    error: Optional[api.ErrorInfo] = None
+    task: Optional[asyncio.Task] = None
+    done_event: Optional[asyncio.Event] = None
+
+    @property
+    def active(self) -> bool:
+        return self.state in (api.JOB_QUEUED, api.JOB_RUNNING)
+
+
 class SynthesisService:
     """The service core: registry + cache + bounded async job engine.
 
@@ -119,14 +163,20 @@ class SynthesisService:
         max_workers: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         default_job_timeout: Optional[float] = None,
+        node_id: Optional[str] = None,
+        worker_nodes: Sequence[str] = (),
     ) -> None:
         self.registry = registry or default_registry()
         self.cache_dir = str(cache_dir) if cache_dir else None
+        self.node_id = node_id or f"{socket.gethostname()}-{os.getpid()}"
+        #: Base URLs of remote worker nodes this service coordinates sweeps
+        #: across; empty means sweeps run on the local pool only.
+        self.worker_nodes = tuple(worker_nodes)
         if cache is not None:
             self.cache = cache
         else:
             try:
-                self.cache = SynthesisCache(disk_dir=self.cache_dir)
+                self.cache = SynthesisCache(disk_dir=self.cache_dir, node_id=self.node_id)
             except OSError as exc:
                 raise api.invalid_request(
                     f"cannot use cache dir {self.cache_dir!r}: {exc}"
@@ -136,7 +186,9 @@ class SynthesisService:
         self.default_job_timeout = default_job_timeout
         self.jobs_enqueued = 0
         self.warm_submissions = 0
+        self.sweeps_enqueued = 0
         self._jobs: Dict[str, _Job] = {}
+        self._sweep_jobs: Dict[str, _SweepJob] = {}
         self._ids = itertools.count(1)
         self._worker_slots: Optional[asyncio.Semaphore] = None
 
@@ -149,6 +201,35 @@ class SynthesisService:
 
     def list_problems(self, tag: Optional[str] = None) -> List[api.ProblemInfo]:
         return [entry.describe() for entry in self.registry.entries(tag=tag)]
+
+    def list_problems_page(
+        self,
+        tag: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> api.ProblemPage:
+        """One page of the (optionally tag-filtered) registry listing.
+
+        Ordering is registration order — stable across requests — so pages
+        tile the listing.  The cursor is opaque and only valid for the same
+        ``tag`` filter it was issued under; anything else is
+        ``invalid_request``.
+        """
+        infos = self.list_problems(tag=tag)
+        start = 0
+        if cursor is not None:
+            last_name = _decode_cursor(cursor)
+            names = [info.name for info in infos]
+            if last_name not in names:
+                raise api.invalid_request(
+                    f"unknown cursor {cursor!r} for this listing", cursor=cursor
+                )
+            start = names.index(last_name) + 1
+        page = infos[start:] if limit is None else infos[start : start + limit]
+        next_cursor = None
+        if page and start + len(page) < len(infos):
+            next_cursor = _encode_cursor(page[-1].name)
+        return api.ProblemPage(problems=tuple(page), next_cursor=next_cursor)
 
     def synthesize(self, request: api.SynthesizeRequest) -> api.SynthesisResult:
         """Run one request inline (the CLI path; blocks until finished)."""
@@ -166,14 +247,8 @@ class SynthesisService:
         return self.synthesize(request.to_synthesize())
 
     def sweep(self, request: api.SweepRequest) -> api.SweepResponse:
-        if request.problems:
-            names = list(request.problems)
-        elif request.include_all:
-            names = self.registry.names()
-        else:
-            names = None  # every sweepable entry
         summary = run_sweep(
-            names=names,
+            names=resolve_sweep_names(request, self.registry),
             registry=self.registry,
             processes=request.processes,
             timeout=request.timeout,
@@ -183,27 +258,65 @@ class SynthesisService:
         )
         return summary.to_api()
 
-    def cache_stats(self, cache_dir: Optional[str] = None):
-        """Disk inventory for ``cache_dir``, else this process's telemetry."""
-        if cache_dir:
-            entries = disk_entries(cache_dir)
-            return api.DiskCacheStats(
-                cache_dir=str(cache_dir),
-                entries=tuple(entry.to_api() for entry in entries),
-                total_payload_bytes=sum(entry.payload_bytes for entry in entries),
-            )
-        from repro.core.interning import intern_cache_stats
-        from repro.nr.columns import shared_interner_stats
+    def cache_stats(
+        self,
+        cache_dir: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Union[api.DiskCacheStats, api.ProcessCacheStats]:
+        """Disk inventory for ``cache_dir``, else this process's telemetry.
 
-        return api.ProcessCacheStats(
-            intern_table=intern_cache_stats(),
-            shared_value_interner=shared_interner_stats(),
+        ``limit``/``cursor`` paginate the entry listing: paginated pages are
+        ordered digest-ascending (stable under concurrent stores, and a
+        cursor pointing at a since-evicted entry degrades to "resume after
+        where it would sort" instead of an error).  ``total_payload_bytes``
+        always covers the whole directory, not just the page.
+        """
+        if not cache_dir:
+            if limit is not None or cursor is not None:
+                raise api.invalid_request(
+                    "limit/cursor apply to the disk entry listing; pass cache_dir"
+                )
+            from repro.core.interning import intern_cache_stats
+            from repro.nr.columns import shared_interner_stats
+
+            return api.ProcessCacheStats(
+                intern_table=intern_cache_stats(),
+                shared_value_interner=shared_interner_stats(),
+            )
+        entries = disk_entries(cache_dir)
+        total_payload_bytes = sum(entry.payload_bytes for entry in entries)
+        next_cursor = None
+        if limit is not None or cursor is not None:
+            entries = sorted(entries, key=lambda entry: entry.digest)
+            start = 0
+            if cursor is not None:
+                digests = [entry.digest for entry in entries]
+                start = bisect_right(digests, _decode_cursor(cursor))
+            page = entries[start:] if limit is None else entries[start : start + limit]
+            if page and start + len(page) < len(entries):
+                next_cursor = _encode_cursor(page[-1].digest)
+            entries = page
+        return api.DiskCacheStats(
+            cache_dir=str(cache_dir),
+            entries=tuple(entry.to_api() for entry in entries),
+            total_payload_bytes=total_payload_bytes,
+            next_cursor=next_cursor,
+        )
+
+    def queue_depth(self) -> int:
+        """Jobs currently queued or running (sync jobs + sweep jobs)."""
+        return sum(1 for job in self._jobs.values() if job.active) + sum(
+            1 for job in self._sweep_jobs.values() if job.active
         )
 
     def health(self) -> Dict[str, object]:
         counts = {state: 0 for state in api.JOB_STATES}
         for job in self._jobs.values():
             counts[job.state] += 1
+        sweep_counts = {state: 0 for state in api.JOB_STATES}
+        for sweep_job in self._sweep_jobs.values():
+            sweep_counts[sweep_job.state] += 1
         return {
             "status": "ok",
             "version": api.API_VERSION,
@@ -211,7 +324,17 @@ class SynthesisService:
             "jobs": counts,
             "jobs_enqueued": self.jobs_enqueued,
             "warm_submissions": self.warm_submissions,
+            "sweeps": sweep_counts,
+            "sweeps_enqueued": self.sweeps_enqueued,
             "cache": self.cache.stats.as_dict(),
+            # Node identity: what a coordinator needs to score this node.
+            "node": {
+                "id": self.node_id,
+                "role": "coordinator" if self.worker_nodes else "worker",
+                "worker_nodes": list(self.worker_nodes),
+                "manifest_generation": self.cache.manifest_generation(),
+                "queue_depth": self.queue_depth(),
+            },
         }
 
     # ------------------------------------------------------------- job engine
@@ -290,8 +413,7 @@ class SynthesisService:
             self._jobs[job_id] = job
             self._prune_finished()
             return self._snapshot(job)
-        active = sum(1 for job in self._jobs.values() if job.active)
-        if active >= self.queue_limit:
+        if self.queue_depth() >= self.queue_limit:
             raise api.queue_full(self.queue_limit)
         job = _Job(
             id=job_id,
@@ -387,6 +509,144 @@ class SynthesisService:
             job.cancel_event.set()
         return self._snapshot(job)
 
+    # ------------------------------------------------------- sweep job engine
+    def _sweep_snapshot(self, job: _SweepJob) -> api.SweepJobStatus:
+        return api.SweepJobStatus(
+            id=job.id,
+            state=job.state,
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            shards=job.shards,
+            result=job.result,
+            error=job.error,
+        )
+
+    def _get_sweep_job(self, job_id: str) -> _SweepJob:
+        job = self._sweep_jobs.get(job_id)
+        if job is None:
+            raise api.unknown_job(job_id)
+        return job
+
+    def _prune_finished_sweeps(self) -> None:
+        finished = [job for job in self._sweep_jobs.values() if not job.active]
+        if len(finished) <= FINISHED_JOB_RETENTION:
+            return
+        finished.sort(key=lambda job: job.finished_at or job.submitted_at)
+        for job in finished[: len(finished) - FINISHED_JOB_RETENTION]:
+            del self._sweep_jobs[job.id]
+
+    def _coordinator_for(
+        self, request: api.SweepSubmitRequest, on_update
+    ) -> Tuple[SweepCoordinator, api.SweepRequest, List[str]]:
+        """The coordinator, effective shard request and problem list for a sweep.
+
+        Nodes come from the submission (falling back to this service's
+        standing ``worker_nodes``); no nodes at all means the local pool.
+        The shard request inherits this service's cache directory when the
+        submission names none, so every node warms the same disk tier.
+        """
+        urls = request.nodes or self.worker_nodes
+        coordinator = SweepCoordinator(
+            nodes=nodes_from_urls(urls, include_local=not urls),
+            shard_size=request.shard_size,
+            max_retries=request.max_retries,
+            on_update=on_update,
+        )
+        sweep_request = request.to_sweep_request()
+        if sweep_request.cache_dir is None and self.cache_dir is not None:
+            sweep_request = api.SweepRequest.from_json_dict(
+                {**sweep_request.to_json_dict(), "cache_dir": self.cache_dir}
+            )
+        return coordinator, sweep_request, resolve_sweep_names(sweep_request, self.registry)
+
+    async def submit_sweep(self, request: api.SweepSubmitRequest) -> api.SweepJobStatus:
+        """Enqueue a sweep as one pollable fleet job (``POST /v1/sweeps``)."""
+        if self.queue_depth() >= self.queue_limit:
+            raise api.queue_full(self.queue_limit)
+        job_id = f"sweep-{next(self._ids):06d}"
+        job = _SweepJob(
+            id=job_id,
+            request=request,
+            state=api.JOB_QUEUED,
+            submitted_at=time.time(),
+            done_event=asyncio.Event(),
+        )
+
+        def _on_update(shards: Tuple[api.ShardInfo, ...]) -> None:
+            # Called from the coordinator's executor thread; a tuple
+            # assignment is atomic, so pollers always see a consistent set.
+            job.shards = shards
+
+        coordinator, sweep_request, names = self._coordinator_for(request, _on_update)
+        self._sweep_jobs[job_id] = job
+        self.sweeps_enqueued += 1
+        if self._worker_slots is None:
+            self._worker_slots = asyncio.Semaphore(self.max_workers)
+        job.task = asyncio.create_task(
+            self._run_sweep_job(job, coordinator, sweep_request, names)
+        )
+        self._prune_finished_sweeps()
+        return self._sweep_snapshot(job)
+
+    async def _run_sweep_job(
+        self,
+        job: _SweepJob,
+        coordinator: SweepCoordinator,
+        sweep_request: api.SweepRequest,
+        names: List[str],
+    ) -> None:
+        try:
+            async with self._worker_slots:
+                job.state = api.JOB_RUNNING
+                job.started_at = time.time()
+                loop = asyncio.get_running_loop()
+                try:
+                    result = await loop.run_in_executor(
+                        None, coordinator.run, sweep_request, names
+                    )
+                except api.ApiError as exc:
+                    job.shards = coordinator.shard_snapshots()
+                    self._finish_sweep(job, api.JOB_FAILED, error=exc.info)
+                    return
+                except Exception as exc:  # noqa: BLE001 - engine must survive
+                    self._finish_sweep(
+                        job,
+                        api.JOB_FAILED,
+                        error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
+                    )
+                    return
+                job.shards = coordinator.shard_snapshots()
+                self._finish_sweep(job, api.JOB_DONE, result=result)
+        except asyncio.CancelledError:
+            if not job.finished_at:
+                self._finish_sweep(
+                    job, api.JOB_CANCELLED, error=api.job_cancelled(job.id).info
+                )
+
+    def _finish_sweep(self, job: _SweepJob, state: str, result=None, error=None) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_at = time.time()
+        if job.done_event is not None:
+            job.done_event.set()
+
+    async def sweep_status(self, job_id: str) -> api.SweepJobStatus:
+        return self._sweep_snapshot(self._get_sweep_job(job_id))
+
+    async def wait_sweep(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> api.SweepJobStatus:
+        """Block until the sweep finishes (or ``timeout``), then snapshot."""
+        job = self._get_sweep_job(job_id)
+        if job.active and job.done_event is not None:
+            try:
+                await asyncio.wait_for(job.done_event.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass  # return the still-running snapshot
+        return self._sweep_snapshot(job)
+
 
 # --------------------------------------------------------------- HTTP plumbing
 _REASONS = {
@@ -399,6 +659,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -447,6 +708,32 @@ def _truthy(value: Optional[str]) -> bool:
     return (value or "").lower() in ("1", "true", "yes", "on")
 
 
+def _encode_cursor(token: str) -> str:
+    """Opaque page cursor over ``token`` (URL-safe, padding stripped)."""
+    return base64.urlsafe_b64encode(token.encode("utf-8")).decode("ascii").rstrip("=")
+
+
+def _decode_cursor(cursor: str) -> str:
+    try:
+        padded = cursor + "=" * (-len(cursor) % 4)
+        return base64.urlsafe_b64decode(padded.encode("ascii")).decode("utf-8")
+    except (ValueError, UnicodeError) as exc:
+        raise api.invalid_request(f"malformed cursor {cursor!r}", cursor=cursor) from exc
+
+
+def _limit_query(request: "_HttpRequest") -> Optional[int]:
+    value = request.query.get("limit")
+    if value is None:
+        return None
+    try:
+        limit = int(value)
+    except ValueError:
+        raise api.invalid_request(f"limit must be an integer, got {value!r}")
+    if limit < 1:
+        raise api.invalid_request("limit must be at least 1")
+    return limit
+
+
 async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int, object]:
     path, method = request.path, request.method
     v = f"/{api.API_VERSION}"
@@ -457,8 +744,16 @@ async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int,
     if path == f"{v}/problems":
         if method != "GET":
             raise api.ApiError("not_found", f"no route for {method} {path}")
-        infos = service.list_problems(tag=request.query.get("tag"))
-        return 200, [info.to_json_dict() for info in infos]
+        limit = _limit_query(request)
+        cursor = request.query.get("cursor")
+        if limit is None and cursor is None:
+            # Legacy unpaginated shape: a bare JSON array.
+            infos = service.list_problems(tag=request.query.get("tag"))
+            return 200, [info.to_json_dict() for info in infos]
+        page = service.list_problems_page(
+            tag=request.query.get("tag"), limit=limit, cursor=cursor
+        )
+        return 200, page.to_json_dict()
     if path == f"{v}/synthesize":
         if method != "POST":
             raise api.ApiError("not_found", f"no route for {method} {path}")
@@ -476,12 +771,47 @@ async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int,
             status = await service.cancel(job_id)
             return 200, status.to_json_dict()
         raise api.ApiError("not_found", f"no route for {method} {path}")
+    if path == f"{v}/sweeps":
+        if method != "POST":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        submit = api.SweepSubmitRequest.from_json(request.body.decode("utf-8") or "{}")
+        status = await service.submit_sweep(submit)
+        if _truthy(request.query.get("wait")):
+            # The legacy inline path: block, then answer with the bare
+            # SweepResponse document (what `repro sweep` printed before
+            # sweeps became jobs) — or the structured error on failure.
+            status = await service.wait_sweep(status.id)
+            if status.error is not None:
+                raise api.ApiError.from_info(status.error)
+            if status.result is None:
+                raise api.ApiError("internal", f"sweep {status.id} finished without result")
+            return 200, status.result.to_json_dict()
+        return _sweep_http_status(status), status.to_json_dict()
+    if path.startswith(f"{v}/sweeps/"):
+        sweep_id = path[len(f"{v}/sweeps/") :]
+        if method != "GET":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        status = await service.sweep_status(sweep_id)
+        return 200, status.to_json_dict()
     if path == f"{v}/cache/stats":
         if method != "GET":
             raise api.ApiError("not_found", f"no route for {method} {path}")
-        stats = service.cache_stats(cache_dir=request.query.get("cache_dir"))
+        stats = service.cache_stats(
+            cache_dir=request.query.get("cache_dir"),
+            limit=_limit_query(request),
+            cursor=request.query.get("cursor"),
+        )
         return 200, stats.to_json_dict()
     raise api.ApiError("not_found", f"no route for {method} {path}")
+
+
+def _sweep_http_status(status: api.SweepJobStatus) -> int:
+    """HTTP status for a fresh sweep submission (202 until terminal)."""
+    if not status.finished:
+        return 202
+    if status.error is None:
+        return 200
+    return status.error.http_status
 
 
 def _job_http_status(status: api.JobStatus, poll: bool = False) -> int:

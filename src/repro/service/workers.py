@@ -329,6 +329,24 @@ def _job_child(name: str, options: Dict[str, object], conn) -> None:
     conn.close()
 
 
+def resolve_sweep_names(
+    request: api.SweepRequest, registry: Optional[ProblemRegistry] = None
+) -> List[str]:
+    """The concrete problem list a sweep request selects.
+
+    Centralized so the inline sweep, the async sweep engine and the fleet
+    coordinator shard over *exactly* the same population — explicit names
+    verbatim (duplicates preserved), ``include_all`` the full registry,
+    neither the default sweepable population.
+    """
+    registry = registry or default_registry()
+    if request.problems:
+        return list(request.problems)
+    if request.include_all:
+        return registry.names()
+    return [entry.name for entry in registry.sweepable()]
+
+
 # ------------------------------------------------------------------ the pool
 def run_sweep(
     names: Optional[Sequence[str]] = None,

@@ -45,6 +45,20 @@ sweep_requests = st.builds(
     max_depth=st.one_of(st.none(), st.integers(1, 64)),
 )
 
+sweep_submit_requests = st.builds(
+    api.SweepSubmitRequest,
+    problems=st.lists(names, max_size=5).map(tuple),
+    include_all=st.just(False),
+    processes=st.one_of(st.none(), st.integers(1, 32)),
+    timeout=st.one_of(st.none(), positive_seconds),
+    verify_scale=st.integers(0, 100),
+    cache_dir=st.one_of(st.none(), names),
+    max_depth=st.one_of(st.none(), st.integers(1, 64)),
+    nodes=st.lists(names, max_size=3).map(tuple),
+    shard_size=st.one_of(st.none(), st.integers(1, 16)),
+    max_retries=st.integers(0, 5),
+)
+
 problem_infos = st.builds(
     api.ProblemInfo,
     name=names,
@@ -121,6 +135,34 @@ sweep_responses = st.builds(
     jobs=st.lists(sweep_outcomes, max_size=3).map(tuple),
 )
 
+shard_infos = st.builds(
+    api.ShardInfo,
+    index=st.integers(0, 100),
+    state=st.sampled_from(api.SHARD_STATES),
+    problems=st.lists(names, max_size=4).map(tuple),
+    node=st.one_of(st.just(""), names),
+    retries=st.integers(0, 5),
+    error=st.one_of(st.none(), error_infos),
+)
+
+sweep_job_statuses = st.builds(
+    api.SweepJobStatus,
+    id=names,
+    state=st.sampled_from(api.JOB_STATES),
+    submitted_at=seconds,
+    started_at=st.one_of(st.none(), seconds),
+    finished_at=st.one_of(st.none(), seconds),
+    shards=st.lists(shard_infos, max_size=3).map(tuple),
+    result=st.one_of(st.none(), sweep_responses),
+    error=st.one_of(st.none(), error_infos),
+)
+
+problem_pages = st.builds(
+    api.ProblemPage,
+    problems=st.lists(problem_infos, max_size=3).map(tuple),
+    next_cursor=st.one_of(st.none(), names),
+)
+
 cache_entries = st.builds(
     api.CacheEntryInfo,
     digest=st.from_regex(r"[0-9a-f]{16}", fullmatch=True),
@@ -138,6 +180,7 @@ disk_cache_stats = st.builds(
     cache_dir=names,
     entries=st.lists(cache_entries, max_size=3).map(tuple),
     total_payload_bytes=st.integers(0, 10**9),
+    next_cursor=st.one_of(st.none(), names),
 )
 
 process_cache_stats = st.builds(
@@ -150,7 +193,9 @@ ROUNDTRIP_STRATEGIES = {
     api.SynthesizeRequest: synthesize_requests,
     api.VerifyRequest: verify_requests,
     api.SweepRequest: sweep_requests,
+    api.SweepSubmitRequest: sweep_submit_requests,
     api.ProblemInfo: problem_infos,
+    api.ProblemPage: problem_pages,
     api.StageReport: stage_reports,
     api.VerificationSummary: verifications,
     api.SynthesisResult: synthesis_results,
@@ -158,6 +203,8 @@ ROUNDTRIP_STRATEGIES = {
     api.JobStatus: job_statuses,
     api.SweepOutcome: sweep_outcomes,
     api.SweepResponse: sweep_responses,
+    api.ShardInfo: shard_infos,
+    api.SweepJobStatus: sweep_job_statuses,
     api.CacheEntryInfo: cache_entries,
     api.DiskCacheStats: disk_cache_stats,
     api.ProcessCacheStats: process_cache_stats,

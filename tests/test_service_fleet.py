@@ -1,0 +1,297 @@
+"""Fleet coordination: sharding, retry/failure isolation, deterministic merge.
+
+The fault-injection half of ISSUE 7: nodes die mid-shard, exhaust retry
+budgets, and wedge past timeouts — the coordinator must isolate every one of
+those and still merge a sweep byte-identical to a single-node run.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service import api
+from repro.service.fleet import (
+    HttpNode,
+    LocalNode,
+    NodeFailure,
+    SweepCoordinator,
+    nodes_from_urls,
+)
+from repro.service.server import BackgroundServer, SynthesisService
+from repro.service.workers import run_sweep
+
+#: Real registry entries that synthesize quickly (all expected "ok").
+NAMES = ["identity_view", "union_view", "intersection_view", "unique_element"]
+
+
+def _ok_outcome(name):
+    return api.SweepOutcome(name=name, status="ok", seconds=0.0, expected="ok")
+
+
+def _shard_response(names):
+    jobs = tuple(_ok_outcome(name) for name in names)
+    return api.SweepResponse(
+        wall_seconds=0.0,
+        processes=1,
+        counts={"ok": len(jobs)},
+        cache_hits=0,
+        ok=True,
+        jobs=jobs,
+    )
+
+
+class FakeNode:
+    """A scriptable worker: fail the first ``failures`` dispatches, then serve.
+
+    ``delay`` holds each dispatch open (wedged-node and out-of-order-finish
+    scenarios); ``fail_forever`` models a node that never comes back.
+    """
+
+    def __init__(self, name, failures=0, fail_forever=False, delay=0.0):
+        self.name = name
+        self.failures = failures
+        self.fail_forever = fail_forever
+        self.delay = delay
+        self.dispatches = 0
+        self.served = []
+
+    def run_shard(self, names, request):
+        self.dispatches += 1
+        if self.delay:
+            time.sleep(self.delay)
+        if self.fail_forever or self.dispatches <= self.failures:
+            raise NodeFailure(self.name, "injected fault")
+        self.served.append(tuple(names))
+        return _shard_response(names)
+
+
+# ------------------------------------------------------------------ planning
+def test_plan_stripes_one_shard_per_node_by_default():
+    coordinator = SweepCoordinator([FakeNode("a"), FakeNode("b"), FakeNode("c")])
+    shards = coordinator.plan(["p0", "p1", "p2", "p3", "p4", "p5", "p6"])
+    assert [shard.names for shard in shards] == [
+        ("p0", "p1", "p2"),
+        ("p3", "p4", "p5"),
+        ("p6",),
+    ]
+    assert [shard.indices for shard in shards] == [(0, 1, 2), (3, 4, 5), (6,)]
+    assert all(shard.state == api.SHARD_PENDING for shard in shards)
+
+
+def test_plan_with_explicit_shard_size():
+    coordinator = SweepCoordinator([FakeNode("a")], shard_size=2)
+    shards = coordinator.plan(["p0", "p1", "p2"])
+    assert [shard.names for shard in shards] == [("p0", "p1"), ("p2",)]
+    with pytest.raises(ValueError):
+        SweepCoordinator([FakeNode("a")], shard_size=0)
+    with pytest.raises(ValueError):
+        SweepCoordinator([])
+
+
+# ----------------------------------------------------------- merge semantics
+def test_merge_reassembles_request_order_from_out_of_order_shards():
+    # Node "slow" holds its (earlier) shard open while "fast" finishes the
+    # later ones; the merged jobs must still follow the request order.
+    slow = FakeNode("slow", delay=0.3)
+    fast = FakeNode("fast")
+    coordinator = SweepCoordinator([slow, fast], shard_size=1, backoff_seconds=0.0)
+    names = ["p0", "p1", "p2", "p3"]
+    response = coordinator.run(api.SweepRequest(problems=tuple(names)), names)
+    assert [job.name for job in response.jobs] == names
+    assert response.counts == {"ok": 4} and response.ok
+    assert slow.served and fast.served  # both nodes took a share
+
+
+def test_fleet_sweep_matches_single_node_sweep_byte_for_byte():
+    """The acceptance bar: merged fleet results are byte-identical (stable
+    projection) to a plain single-node sweep of the same request."""
+    single = run_sweep(names=list(NAMES), processes=1).to_api()
+    coordinator = SweepCoordinator([LocalNode("a"), LocalNode("b")], shard_size=1)
+    fleet = coordinator.run(api.SweepRequest(problems=tuple(NAMES), processes=1), NAMES)
+    assert json.dumps(fleet.to_stable_json_dict()) == json.dumps(
+        single.to_stable_json_dict()
+    )
+    assert fleet.counts == single.counts and fleet.ok == single.ok
+
+
+# ---------------------------------------------------------- failure isolation
+def test_flaky_node_retries_and_the_sweep_completes():
+    flaky = FakeNode("flaky", failures=1)
+    coordinator = SweepCoordinator([flaky], backoff_seconds=0.0)
+    response = coordinator.run(api.SweepRequest(problems=("p0", "p1")), ["p0", "p1"])
+    assert response.ok and [job.name for job in response.jobs] == ["p0", "p1"]
+    snapshots = coordinator.shard_snapshots()
+    assert [shard.state for shard in snapshots] == [api.SHARD_DONE]
+    assert snapshots[0].retries == 1  # the injected fault is on the record
+
+
+def test_dead_node_loses_only_its_shards_never_the_sweep():
+    """ISSUE 7 fault injection: kill one of two nodes — every shard it drops
+    re-queues onto the survivor, and the merge is still byte-identical."""
+    dead = FakeNode("dead", fail_forever=True)
+    survivor = FakeNode("survivor")
+    coordinator = SweepCoordinator([dead, survivor], shard_size=1, backoff_seconds=0.0)
+    names = ["p0", "p1", "p2", "p3"]
+    response = coordinator.run(api.SweepRequest(problems=tuple(names)), names)
+    assert [job.name for job in response.jobs] == names
+    assert sorted(n for shard in survivor.served for n in shard) == names
+    snapshots = coordinator.shard_snapshots()
+    assert all(shard.state == api.SHARD_DONE for shard in snapshots)
+    assert all(shard.node == "survivor" for shard in snapshots)
+    assert any(shard.retries > 0 for shard in snapshots)
+    # The stable projection matches a fleet where every node was healthy.
+    healthy = SweepCoordinator([FakeNode("h")], backoff_seconds=0.0)
+    baseline = healthy.run(api.SweepRequest(problems=tuple(names)), names)
+    assert json.dumps(response.to_stable_json_dict()) == json.dumps(
+        baseline.to_stable_json_dict()
+    )
+
+
+def test_dead_node_cannot_burn_a_shard_retry_budget():
+    # A dead node fails instantly and frees up first; the shard it dropped
+    # must not bounce back to it while the healthy node could take it.
+    dead = FakeNode("dead", fail_forever=True)
+    slow_but_healthy = FakeNode("healthy", delay=0.05)
+    coordinator = SweepCoordinator(
+        [dead, slow_but_healthy], shard_size=1, max_retries=1, backoff_seconds=0.0
+    )
+    names = ["p0", "p1", "p2", "p3"]
+    response = coordinator.run(api.SweepRequest(problems=tuple(names)), names)
+    assert response.ok
+    # Every shard failed at most once (on the dead node) — never twice.
+    assert all(shard.retries <= 1 for shard in coordinator.shard_snapshots())
+
+
+def test_retry_exhaustion_is_the_typed_node_unavailable_error():
+    coordinator = SweepCoordinator(
+        [FakeNode("dead", fail_forever=True)], max_retries=2, backoff_seconds=0.0
+    )
+    with pytest.raises(api.ApiError) as excinfo:
+        coordinator.run(api.SweepRequest(problems=("p0",)), ["p0"])
+    error = excinfo.value
+    assert error.code == "node_unavailable"
+    assert error.http_status == 503
+    assert error.detail["shards"] == [0]
+    snapshots = coordinator.shard_snapshots()
+    assert snapshots[0].state == api.SHARD_FAILED
+    assert snapshots[0].error is not None
+    assert snapshots[0].error.code == "node_unavailable"
+    assert snapshots[0].retries == 3  # budget of 2 retries + the final attempt
+
+
+def test_wedged_node_is_retired_by_the_shard_timeout():
+    wedged = FakeNode("wedged", delay=30.0)
+    healthy = FakeNode("healthy")
+    coordinator = SweepCoordinator(
+        [wedged, healthy], shard_size=1, shard_timeout=0.2, backoff_seconds=0.0
+    )
+    names = ["p0", "p1"]
+    start = time.monotonic()
+    response = coordinator.run(api.SweepRequest(problems=tuple(names)), names)
+    assert time.monotonic() - start < 10.0  # nobody waited for the wedge
+    assert [job.name for job in response.jobs] == names
+    assert all(shard.node == "healthy" for shard in coordinator.shard_snapshots())
+
+
+def test_all_nodes_dead_fails_fast_with_every_shard_reported():
+    coordinator = SweepCoordinator(
+        [FakeNode("d1", fail_forever=True), FakeNode("d2", fail_forever=True)],
+        shard_size=1,
+        max_retries=1,
+        backoff_seconds=0.0,
+        node_failure_limit=1,  # retire on first failure: no live nodes remain
+    )
+    with pytest.raises(api.ApiError) as excinfo:
+        coordinator.run(api.SweepRequest(problems=("p0", "p1", "p2")), ["p0", "p1", "p2"])
+    assert excinfo.value.code == "node_unavailable"
+    assert all(s.state == api.SHARD_FAILED for s in coordinator.shard_snapshots())
+
+
+def test_on_update_publishes_every_transition():
+    timeline = []
+    coordinator = SweepCoordinator(
+        [FakeNode("flaky", failures=1)],
+        backoff_seconds=0.0,
+        on_update=lambda shards: timeline.append(shards),
+    )
+    coordinator.run(api.SweepRequest(problems=("p0",)), ["p0"])
+    states = [snapshot[0].state for snapshot in timeline if snapshot]
+    assert states[0] == api.SHARD_PENDING  # the plan itself is published
+    assert api.SHARD_RUNNING in states
+    assert states[-1] == api.SHARD_DONE
+    # Snapshots are the typed wire objects, ready for GET /v1/sweeps/<id>.
+    assert all(isinstance(s, api.ShardInfo) for snap in timeline for s in snap)
+
+
+# ------------------------------------------------------------- HTTP transport
+def test_nodes_from_urls_shapes_the_fleet():
+    urls = ["http://worker-1:8080/", "http://worker-2:8080"]
+    nodes = nodes_from_urls(urls)
+    assert [type(node) for node in nodes] == [HttpNode, HttpNode]
+    assert nodes[0].name == "worker-1:8080"
+    assert nodes[0].base_url == "http://worker-1:8080"
+    mixed = nodes_from_urls(urls, include_local=True)
+    assert isinstance(mixed[-1], LocalNode)
+    assert [type(node) for node in nodes_from_urls([])] == [LocalNode]
+
+
+def test_http_node_runs_shards_on_a_real_worker():
+    with BackgroundServer(SynthesisService()) as worker:
+        node = HttpNode(worker.url)
+        response = node.run_shard(
+            ["identity_view", "union_view"],
+            api.SweepRequest(processes=1),
+        )
+    assert [job.name for job in response.jobs] == ["identity_view", "union_view"]
+    assert response.ok
+
+
+def test_killed_http_worker_requeues_onto_the_local_node():
+    """Kill the remote worker, then sweep: its connection failures are node
+    faults, the local node absorbs every shard, results match single-node."""
+    with BackgroundServer(SynthesisService()) as worker:
+        url = worker.url
+    # The server is down now: a realistic "killed mid-deployment" node.
+    coordinator = SweepCoordinator(
+        nodes=[HttpNode(url, name="killed"), LocalNode()],
+        shard_size=1,
+        backoff_seconds=0.0,
+    )
+    names = ["identity_view", "union_view"]
+    response = coordinator.run(api.SweepRequest(problems=tuple(names), processes=1), names)
+    assert [job.name for job in response.jobs] == names
+    single = run_sweep(names=list(names), processes=1).to_api()
+    assert json.dumps(response.to_stable_json_dict()) == json.dumps(
+        single.to_stable_json_dict()
+    )
+    assert all(shard.node == "local" for shard in coordinator.shard_snapshots())
+
+
+def test_http_worker_killed_mid_shard_is_a_node_failure_not_a_crash():
+    """Stop the worker while its shard is in flight: the dispatch must come
+    back as a NodeFailure (re-queueable), never an unhandled exception."""
+    service = SynthesisService()
+    server = BackgroundServer(service)
+    handle = server.__enter__()
+    node = HttpNode(handle.url, name="doomed", request_timeout=30.0)
+    outcome = {}
+
+    def dispatch():
+        try:
+            outcome["response"] = node.run_shard(
+                ["union_of_3_views", "union_of_4_views"], api.SweepRequest(processes=1)
+            )
+        except NodeFailure as exc:
+            outcome["failure"] = exc
+
+    thread = threading.Thread(target=dispatch)
+    thread.start()
+    time.sleep(0.3)  # let the POST land and the shard start
+    server.__exit__(None, None, None)  # kill the node mid-shard
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    # Either the shard squeaked through before the stop, or — the point of
+    # the test — the torn connection surfaced as a typed NodeFailure.
+    assert "response" in outcome or isinstance(outcome.get("failure"), NodeFailure)

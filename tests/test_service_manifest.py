@@ -1,0 +1,192 @@
+"""The shared cache manifest: generation counters, CAS bumps, skew drops."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.proofs.search import ProofSearch
+from repro.service.cache import SynthesisCache, disk_entries
+from repro.service.manifest import (
+    MANIFEST_NAME,
+    CacheManifest,
+    ManifestConflict,
+    ManifestState,
+)
+from repro.specs import examples
+from repro.synthesis import synthesize
+
+
+def _result(problem):
+    return synthesize(problem, search=ProofSearch(max_depth=12))
+
+
+# ------------------------------------------------------------------ the file
+def test_fresh_directory_reads_as_generation_zero(tmp_path):
+    manifest = CacheManifest(tmp_path)
+    assert manifest.read() == ManifestState()
+    assert manifest.generation() == 0
+    assert manifest.stamp() is None
+
+
+def test_bump_increments_and_persists(tmp_path):
+    manifest = CacheManifest(tmp_path)
+    state = manifest.bump(node_id="worker-1")
+    assert state.generation == 1 and state.node_id == "worker-1"
+    assert state.updated_at > 0
+    # A second handle (fresh process in production) sees the same state.
+    other = CacheManifest(tmp_path)
+    assert other.generation() == 1
+    assert other.read().node_id == "worker-1"
+    assert other.bump(node_id="worker-2").generation == 2
+    assert manifest.generation() == 2
+
+
+def test_stamp_changes_on_every_bump(tmp_path):
+    manifest = CacheManifest(tmp_path)
+    manifest.bump()
+    first = manifest.stamp()
+    assert first is not None
+    manifest.bump()
+    assert manifest.stamp() != first
+
+
+def test_torn_manifest_reads_as_generation_zero(tmp_path):
+    manifest = CacheManifest(tmp_path)
+    manifest.bump()
+    for garbage in ("{not json", '"a string"', '{"generation": -3}',
+                    '{"generation": true}'):
+        (tmp_path / MANIFEST_NAME).write_text(garbage)
+        assert manifest.read() == ManifestState()
+
+
+def test_cas_bump_raises_on_generation_skew(tmp_path):
+    manifest = CacheManifest(tmp_path)
+    manifest.bump()
+    # The CAS succeeds against the generation the caller actually observed...
+    assert manifest.bump(expected=1).generation == 2
+    # ...and refuses when another node moved it first.
+    with pytest.raises(ManifestConflict) as excinfo:
+        manifest.bump(expected=1)
+    assert excinfo.value.expected == 1 and excinfo.value.actual == 2
+    assert manifest.generation() == 2  # nothing was written
+
+
+def test_two_coordinator_bump_race_loses_no_increment(tmp_path):
+    """ISSUE 7 satellite: two coordinators bumping concurrently stay
+    consistent — increments serialize through the lock, none are lost."""
+    bumps_per_writer = 20
+    writers = 2
+    seen = [[] for _ in range(writers)]
+
+    def writer(slot):
+        manifest = CacheManifest(tmp_path)
+        for _ in range(bumps_per_writer):
+            seen[slot].append(manifest.bump(node_id=f"coordinator-{slot}").generation)
+
+    threads = [threading.Thread(target=writer, args=(slot,)) for slot in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    generations = sorted(g for per_writer in seen for g in per_writer)
+    # Every increment produced a distinct generation, densely 1..N.
+    assert generations == list(range(1, writers * bumps_per_writer + 1))
+    assert CacheManifest(tmp_path).generation() == writers * bumps_per_writer
+    assert not (tmp_path / f"{MANIFEST_NAME}.lock").exists()
+
+
+def test_stale_lock_is_reaped(tmp_path):
+    lock = tmp_path / f"{MANIFEST_NAME}.lock"
+    lock.write_text("")
+    old = time.time() - 3600
+    os.utime(lock, (old, old))
+    manifest = CacheManifest(tmp_path)
+    assert manifest.bump().generation == 1  # no TimeoutError
+    assert not lock.exists()
+
+
+def test_live_lock_times_out(tmp_path):
+    lock = tmp_path / f"{MANIFEST_NAME}.lock"
+    lock.write_text("")  # a current writer holds it, and never lets go
+    manifest = CacheManifest(tmp_path, lock_timeout=0.2)
+    with pytest.raises(TimeoutError):
+        manifest.bump()
+
+
+# --------------------------------------------------------- cache integration
+def test_cache_constructs_manifest_beside_disk_tier(tmp_path):
+    cache = SynthesisCache(disk_dir=tmp_path, node_id="node-a")
+    assert cache.manifest is not None
+    assert cache.manifest_generation() == 0
+    memory_only = SynthesisCache()
+    assert memory_only.manifest is None
+    assert memory_only.invalidate() == 0  # a no-op without a disk tier
+
+
+def test_invalidate_bumps_and_clears_the_memory_tier(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path, node_id="node-a")
+    cache.store(problem, _result(problem))
+    assert cache.peek(problem) == "memory"
+    generation = cache.invalidate()
+    assert generation == 1
+    assert cache.stats.manifest_bumps == 1
+    # Own memory tier dropped; the content-addressed disk entry survives.
+    assert cache.peek(problem) == "disk"
+    # The bump updated the cache's own view: no self-inflicted skew drop.
+    found, tier = cache.lookup(problem)
+    assert tier == "disk" and found is not None
+    assert cache.stats.manifest_skew_drops == 0
+
+
+def test_remote_bump_drops_the_memory_tier_on_next_lookup(tmp_path):
+    """ISSUE 7 fault-injection: manifest generation skew between nodes →
+    the stale node's memory tier is dropped cleanly, disk tier still serves."""
+    problem = examples.union_view()
+    node_a = SynthesisCache(disk_dir=tmp_path, node_id="node-a")
+    node_b = SynthesisCache(disk_dir=tmp_path, node_id="node-b")
+    node_a.store(problem, _result(problem))
+    assert node_a.peek(problem) == "memory"
+    # Node B invalidates the shared directory; node A is now stale.
+    assert node_b.invalidate() == 1
+    found, tier = node_a.lookup(problem)
+    assert node_a.stats.manifest_skew_drops == 1
+    assert tier == "disk" and found is not None  # re-warmed from disk
+    assert node_a.manifest_generation() == 1
+    # Stamps are synced: the next lookup pays one os.stat, drops nothing.
+    _, tier = node_a.lookup(problem)
+    assert tier == "memory"
+    assert node_a.stats.manifest_skew_drops == 1
+
+
+def test_disk_eviction_announces_itself_through_the_manifest(tmp_path):
+    problems = [examples.identity_view(), examples.union_view()]
+    evictor = SynthesisCache(disk_dir=tmp_path, disk_entry_bound=1, node_id="evictor")
+    peer = SynthesisCache(disk_dir=tmp_path, node_id="peer")
+    for problem, cost in zip(problems, (0.01, 5.0)):
+        result = _result(problem)
+        evictor.store(problem, result, cost_seconds=cost)
+        peer.store_memory(problem, result)  # peer's private memory tier
+    evictor.maintain()
+    assert evictor.stats.disk_evictions == 1
+    assert evictor.stats.manifest_bumps == 1
+    # The eviction bumped the shared generation, so the peer's memory tier
+    # (which may hold the evicted entry) is dropped on its next lookup.
+    _, tier = peer.lookup(problems[1])
+    assert peer.stats.manifest_skew_drops == 1
+    assert tier == "disk"  # the survivor re-warms from disk
+
+
+def test_manifest_file_is_not_a_cache_entry(tmp_path):
+    problem = examples.union_view()
+    cache = SynthesisCache(disk_dir=tmp_path, node_id="node-a")
+    cache.store(problem, _result(problem))
+    cache.invalidate()
+    assert (tmp_path / MANIFEST_NAME).exists()
+    entries = disk_entries(tmp_path)
+    assert [entry.name for entry in entries] == ["union_view"]
+    raw = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert raw["node_id"] == "node-a"

@@ -389,3 +389,161 @@ def test_eight_concurrent_synthesize_requests_do_not_block_the_loop(server):
         assert status == 200, (name, payload)
         assert payload["state"] == "done", (name, payload)
         assert payload["result"]["expression"], name
+
+
+# ------------------------------------------------- fleet sweeps + pagination
+def test_health_reports_node_identity(server):
+    status, payload = http_get(server.url + "/healthz")
+    assert status == 200
+    node = payload["node"]
+    assert node["id"]  # hostname-pid by default
+    assert node["role"] == "worker"  # no standing worker_nodes configured
+    assert node["worker_nodes"] == []
+    assert node["manifest_generation"] == 0  # no disk tier on this fixture
+    assert isinstance(node["queue_depth"], int)
+    assert "sweeps" in payload and "sweeps_enqueued" in payload
+
+
+def test_problems_pagination_tiles_the_registry(server):
+    status, everything = http_get(server.url + "/v1/problems")
+    assert status == 200 and isinstance(everything, list)  # legacy bare array
+    collected = []
+    url = server.url + "/v1/problems?limit=5"
+    while True:
+        status, payload = http_get(url)
+        assert status == 200
+        page = api.ProblemPage.from_json_dict(payload)
+        assert len(page.problems) <= 5
+        collected.extend(info.to_json_dict() for info in page.problems)
+        if page.next_cursor is None:
+            break
+        url = server.url + f"/v1/problems?limit=5&cursor={page.next_cursor}"
+    # Pages tile the legacy listing exactly: no gaps, no duplicates.
+    assert collected == everything
+
+
+def test_problems_pagination_respects_the_tag_filter(server):
+    status, payload = http_get(server.url + "/v1/problems?tag=family:union&limit=2")
+    assert status == 200
+    page = api.ProblemPage.from_json_dict(payload)
+    assert [info.name for info in page.problems] == ["union_of_3_views", "union_of_4_views"]
+    status, payload = http_get(
+        server.url + f"/v1/problems?tag=family:union&limit=2&cursor={page.next_cursor}"
+    )
+    rest = api.ProblemPage.from_json_dict(payload)
+    assert [info.name for info in rest.problems] == ["union_of_5_views"]
+    assert rest.next_cursor is None
+
+
+def test_malformed_and_stale_cursors_are_invalid_requests(server):
+    code, body = http_error(http_get, server.url + "/v1/problems?limit=5&cursor=%21%21")
+    assert code == 400 and body["error"]["code"] == "invalid_request"
+    # A well-formed cursor naming a problem outside the listing is also bad.
+    import base64
+
+    stale = base64.urlsafe_b64encode(b"no_such_problem").decode().rstrip("=")
+    code, body = http_error(http_get, server.url + f"/v1/problems?limit=5&cursor={stale}")
+    assert code == 400 and body["error"]["code"] == "invalid_request"
+    # Limits must be positive integers.
+    code, body = http_error(http_get, server.url + "/v1/problems?limit=0")
+    assert code == 400
+    code, body = http_error(http_get, server.url + "/v1/problems?limit=soon")
+    assert code == 400
+
+
+def test_cache_stats_pagination_over_http(server, tmp_path):
+    from repro.proofs.search import ProofSearch
+    from repro.service.cache import SynthesisCache
+    from repro.specs import examples
+    from repro.synthesis import synthesize
+
+    cache = SynthesisCache(disk_dir=tmp_path)
+    for problem in (examples.identity_view(), examples.union_view(),
+                    examples.intersection_view()):
+        cache.store(problem, synthesize(problem, search=ProofSearch(max_depth=12)))
+    base = server.url + f"/v1/cache/stats?cache_dir={tmp_path}"
+    status, whole = http_get(base)
+    assert status == 200 and len(whole["entries"]) == 3
+    assert "next_cursor" not in whole  # unpaginated shape is unchanged
+    status, first = http_get(base + "&limit=2")
+    page = api.DiskCacheStats.from_json_dict(first)
+    assert len(page.entries) == 2 and page.next_cursor is not None
+    # Totals describe the whole directory on every page.
+    assert page.total_payload_bytes == whole["total_payload_bytes"]
+    status, second = http_get(base + f"&limit=2&cursor={page.next_cursor}")
+    rest = api.DiskCacheStats.from_json_dict(second)
+    assert len(rest.entries) == 1 and rest.next_cursor is None
+    digests = [entry.digest for entry in page.entries + rest.entries]
+    assert digests == sorted(digests)  # stable digest order across pages
+    assert {entry["digest"] for entry in whole["entries"]} == set(digests)
+    # Pagination without a directory to paginate is an invalid request.
+    code, body = http_error(http_get, server.url + "/v1/cache/stats?limit=2")
+    assert code == 400 and body["error"]["code"] == "invalid_request"
+
+
+def test_sweep_submit_then_poll_over_http(server):
+    status, payload = http_post(
+        server.url + "/v1/sweeps",
+        {"problems": ["identity_view", "unique_element"], "processes": 1},
+    )
+    assert status in (200, 202)
+    submitted = api.SweepJobStatus.from_json_dict(payload)
+    assert submitted.id.startswith("sweep-")
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status, payload = http_get(server.url + f"/v1/sweeps/{submitted.id}")
+        assert status == 200
+        polled = api.SweepJobStatus.from_json_dict(payload)
+        if polled.finished:
+            break
+        time.sleep(0.05)
+    assert polled.state == api.JOB_DONE
+    assert polled.result is not None and polled.result.ok
+    assert [job.name for job in polled.result.jobs] == ["identity_view", "unique_element"]
+    # Per-shard progress rode along and every shard landed.
+    assert polled.shards and all(s.state == "done" for s in polled.shards)
+    assert sorted(n for s in polled.shards for n in s.problems) == [
+        "identity_view",
+        "unique_element",
+    ]
+
+
+def test_sweep_wait_inline_answers_the_legacy_document(server):
+    status, payload = http_post(
+        server.url + "/v1/sweeps?wait=1",
+        {"problems": ["identity_view"], "processes": 1},
+    )
+    assert status == 200
+    # The bare SweepResponse shape `repro sweep --json` always printed.
+    assert list(payload) == ["wall_seconds", "processes", "counts", "cache_hits", "ok", "jobs"]
+    response = api.SweepResponse.from_json_dict(payload)
+    assert response.ok and response.jobs[0].name == "identity_view"
+
+
+def test_unknown_sweep_job_is_a_404(server):
+    code, body = http_error(http_get, server.url + "/v1/sweeps/sweep-424242")
+    assert code == 404 and body["error"]["code"] == "unknown_job"
+    # Bad submissions are rejected before a job is minted.
+    code, body = http_error(
+        http_post, server.url + "/v1/sweeps", {"problems": ["x"], "shard_size": 0}
+    )
+    assert code == 400 and body["error"]["code"] == "invalid_request"
+
+
+def test_sweep_against_unreachable_nodes_fails_with_node_unavailable():
+    async def scenario():
+        service = SynthesisService()
+        status = await service.submit_sweep(
+            api.SweepSubmitRequest(
+                problems=("identity_view",),
+                nodes=("http://127.0.0.1:9/",),  # discard port: nothing listens
+                max_retries=0,
+            )
+        )
+        final = await service.wait_sweep(status.id, timeout=60)
+        assert final.state == api.JOB_FAILED
+        assert final.error is not None and final.error.code == "node_unavailable"
+        assert final.result is None
+        assert final.shards and final.shards[0].state == "failed"
+
+    asyncio.run(scenario())

@@ -1,0 +1,113 @@
+"""Emit ``BENCH_obs.json``: cold synthesis with tracing off vs on.
+
+The ISSUE 8 acceptance criterion: the telemetry layer (trace spans around
+every pipeline stage, proof round, and cache access, plus metric updates)
+must cost **at most 2%** on a cold synthesis run.  Both sides run in the same
+process on the same specifications, strictly interleaved (off, on, off, on…)
+so clock drift and cache-warming affect both equally, which makes the
+``speedup_tracing`` ratios machine-independent and gate-able on CI
+(``benchmarks/compare_bench.py``).
+
+A ratio of 1.0 means tracing is free; the committed baseline demonstrates the
+≤2% bound (every ratio ≥ 0.98).  The script itself asserts a looser 8% floor
+so a genuinely slow instrumentation path fails the Measure step even on a
+noisy runner, before the gate compares ratios.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_core_timing import best_of  # noqa: E402
+
+#: Cold-synthesis problems: real proof searches, a few ms each — large enough
+#: to dwarf timer jitter, small enough to repeat many times.
+PROBLEMS = ("union_view", "intersection_of_3_views", "pair_tower_2")
+
+#: Interleaved (off, on) measurement pairs per problem; best-of over all.
+ROUNDS = 7
+
+#: The in-script sanity floor: tracing may cost at most this fraction on the
+#: machine running the benchmark (the committed baseline shows ≤2%; CI noise
+#: gets the difference).
+MAX_OVERHEAD = 0.08
+
+
+def measure() -> dict:
+    from repro.obs.metrics import reset_registry
+    from repro.obs.trace import enable_tracing, get_tracer
+    from repro.proofs.search import ProofSearch
+    from repro.service.pipeline import SynthesisPipeline
+    from repro.service.registry import default_registry
+
+    registry = default_registry()
+    cold_off: dict = {}
+    cold_on: dict = {}
+    try:
+        for name in PROBLEMS:
+            problem = registry.get(name).problem()
+            pipeline = SynthesisPipeline(
+                cache=None, search_factory=lambda: ProofSearch(max_depth=12)
+            )
+
+            def run_cold(problem=problem, pipeline=pipeline):
+                report = pipeline.run(problem)
+                assert report.result is not None and not report.cache_hit
+
+            enable_tracing(False)
+            run_cold()  # warm imports, interners, and code paths once
+            best_off, best_on = math.inf, math.inf
+            for _ in range(ROUNDS):
+                enable_tracing(False)
+                best_off = min(best_off, best_of(run_cold, repeats=1, inner=1))
+                enable_tracing(True)
+                get_tracer().reset()  # bounded buffers, but keep runs identical
+                best_on = min(best_on, best_of(run_cold, repeats=1, inner=1))
+            cold_off[name] = best_off
+            cold_on[name] = best_on
+    finally:
+        enable_tracing(False)
+        get_tracer().reset()
+        reset_registry()
+
+    ratios = {
+        f"cold_synthesis_tracing_off_vs_on_{name}": round(cold_off[name] / cold_on[name], 3)
+        for name in PROBLEMS
+    }
+    overheads = {
+        name: round(cold_on[name] / cold_off[name] - 1.0, 4) for name in PROBLEMS
+    }
+    for name, overhead in overheads.items():
+        assert overhead <= MAX_OVERHEAD, (
+            f"tracing overhead on {name} is {overhead:.1%}, above the "
+            f"{MAX_OVERHEAD:.0%} sanity floor"
+        )
+    return {
+        "harness": "benchmarks/_bench_core_timing.py (best-of wall clock, seconds)",
+        "rounds": ROUNDS,
+        "cold_tracing_off": cold_off,
+        "cold_tracing_on": cold_on,
+        "tracing_overhead": overheads,
+        "speedup_tracing": ratios,
+    }
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_obs.json")
+    report = measure()
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps({**report["speedup_tracing"], **report["tracing_overhead"]}, indent=2))
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1018,6 +1018,20 @@ def shared_interner_stats() -> Dict[str, int]:
     return stats
 
 
+def shared_interner_metric_samples() -> Dict[str, float]:
+    """Numeric projection of :func:`shared_interner_stats` for gauge adapters.
+
+    The metrics registry (:mod:`repro.obs.metrics`) samples this from a
+    scrape-time collector; non-numeric stats entries are dropped so future
+    additions to ``stats()`` cannot break exposition.
+    """
+    return {
+        key: float(value)
+        for key, value in shared_interner_stats().items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
 def reset_shared_interner() -> None:
     """Force an immediate rotation of the shared interner (frees all ids)."""
     global _SHARED_INTERNER, _SHARED_ROTATIONS

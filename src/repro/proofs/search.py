@@ -42,10 +42,12 @@ with the independent checker.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProofSearchError
+from repro.obs.trace import get_tracer
 from repro.logic.formulas import (
     And,
     Bottom,
@@ -139,6 +141,7 @@ class SearchTables:
         "expansions",
         "theta_indexes",
         "clears",
+        "__weakref__",
     )
 
     def __init__(self) -> None:
@@ -149,6 +152,8 @@ class SearchTables:
         self.expansions: Dict[Tuple[Formula, FrozenSet[Member]], List[_Expansion]] = {}
         self.theta_indexes: Dict[FrozenSet[Member], Dict[Term, List[Term]]] = {}
         self.clears = 0
+        global _last_tables_ref
+        _last_tables_ref = weakref.ref(self)
 
     def __len__(self) -> int:
         return (
@@ -184,6 +189,18 @@ class SearchTables:
             "theta_indexes": len(self.theta_indexes),
             "clears": self.clears,
         }
+
+
+#: Weakref to the most recently constructed :class:`SearchTables`, so the
+#: service telemetry layer can expose live table sizes without keeping a
+#: finished search alive (see :func:`last_tables_stats`).
+_last_tables_ref: Optional["weakref.ref[SearchTables]"] = None
+
+
+def last_tables_stats() -> Dict[str, int]:
+    """``stats()`` of the most recently built tables (empty if collected)."""
+    tables = _last_tables_ref() if _last_tables_ref is not None else None
+    return tables.stats() if tables is not None else {}
 
 
 @dataclass
@@ -238,12 +255,17 @@ class ProofSearch:
             if not budgets or budgets[-1] != self.max_depth:
                 budgets.append(self.max_depth)
         self.tables.maintain()
+        tracer = get_tracer()
         for budget in budgets:
             self._attempts = 0
-            try:
-                proof = self._attempt(sequent, (), budget)
-            except _SearchBudgetExceeded:
-                proof = None
+            with tracer.span("proof.round", budget=budget) as round_span:
+                try:
+                    proof = self._attempt(sequent, (), budget)
+                except _SearchBudgetExceeded:
+                    proof = None
+                round_span.set_attributes(
+                    {"attempts": self._attempts, "found": proof is not None}
+                )
             if proof is not None:
                 self.stats.budget_used = budget
                 return proof

@@ -74,6 +74,7 @@ ERROR_CODES: Dict[str, int] = {
     "not_found": 404,  # no such route / resource
     "unknown_problem": 404,  # the registry has no entry with this name
     "unknown_job": 404,  # no job with this id
+    "no_trace": 404,  # the job exists but recorded no trace (tracing disabled)
     "synthesis_failed": 422,  # the synthesis stack raised (search, interpolation…)
     "verification_failed": 422,  # the definition mismatched its instance family
     "timeout": 504,  # the job exceeded its per-job deadline
@@ -921,6 +922,96 @@ class SweepOutcome:
 
 
 @dataclass(frozen=True)
+class SpanInfo:
+    """One finished trace span (see :mod:`repro.obs.trace`).
+
+    ``start`` is wall-clock epoch seconds; ``seconds`` is the
+    ``perf_counter``-measured duration.  ``parent_id`` is omitted from the
+    JSON rendering for root spans, and ``attributes`` when empty.
+    """
+
+    trace_id: str
+    span_id: str
+    name: str
+    start: float
+    seconds: float
+    parent_id: Optional[str] = None
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+        }
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "SpanInfo":
+        _check_fields(
+            "SpanInfo",
+            payload,
+            {"trace_id", "span_id", "name", "start", "seconds", "parent_id", "attributes"},
+        )
+        return cls(
+            trace_id=_field(payload, "trace_id", str),
+            span_id=_field(payload, "span_id", str),
+            name=_field(payload, "name", str),
+            start=_field(payload, "start", float),
+            seconds=_field(payload, "seconds", float),
+            parent_id=_opt_field(payload, "parent_id", str),
+            attributes=_field(payload, "attributes", dict, default={}),
+        )
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """The span tree recorded for one trace (``GET /v1/jobs/<id>/trace``)."""
+
+    trace_id: str
+    job_id: str = ""
+    spans: Tuple[SpanInfo, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "spans", tuple(self.spans))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "job_id": self.job_id,
+            "spans": [span.to_json_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "TraceInfo":
+        _check_fields("TraceInfo", payload, {"trace_id", "job_id", "spans"})
+        return cls(
+            trace_id=_field(payload, "trace_id", str),
+            job_id=_field(payload, "job_id", str, default=""),
+            spans=tuple(
+                SpanInfo.from_json_dict(span)
+                for span in _field(payload, "spans", list, default=[])
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceInfo":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
 class SweepResponse:
     """All sweep outcomes plus aggregate counters."""
 
@@ -930,13 +1021,18 @@ class SweepResponse:
     cache_hits: int = 0
     ok: bool = True
     jobs: Tuple[SweepOutcome, ...] = ()
+    #: Trace spans covering this sweep (coordinator + remote nodes), attached
+    #: only by tracing-enabled servers answering ``?wait=1``; omitted from the
+    #: JSON rendering when empty so pre-telemetry payloads are unchanged.
+    spans: Tuple[SpanInfo, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "counts", dict(self.counts))
         object.__setattr__(self, "jobs", tuple(self.jobs))
+        object.__setattr__(self, "spans", tuple(self.spans))
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "wall_seconds": self.wall_seconds,
             "processes": self.processes,
             "counts": dict(self.counts),
@@ -944,13 +1040,16 @@ class SweepResponse:
             "ok": self.ok,
             "jobs": [job.to_json_dict() for job in self.jobs],
         }
+        if self.spans:
+            payload["spans"] = [span.to_json_dict() for span in self.spans]
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: Mapping[str, object]) -> "SweepResponse":
         _check_fields(
             "SweepResponse",
             payload,
-            {"wall_seconds", "processes", "counts", "cache_hits", "ok", "jobs"},
+            {"wall_seconds", "processes", "counts", "cache_hits", "ok", "jobs", "spans"},
         )
         return cls(
             wall_seconds=_field(payload, "wall_seconds", float),
@@ -961,6 +1060,10 @@ class SweepResponse:
             jobs=tuple(
                 SweepOutcome.from_json_dict(job)
                 for job in _field(payload, "jobs", list, default=[])
+            ),
+            spans=tuple(
+                SpanInfo.from_json_dict(span)
+                for span in _field(payload, "spans", list, default=[])
             ),
         )
 
@@ -1234,9 +1337,14 @@ class DiskCacheStats:
     entries: Tuple[CacheEntryInfo, ...] = ()
     total_payload_bytes: int = 0
     next_cursor: Optional[str] = None
+    #: Shared-cache manifest provenance (generation, node_id, updated_at,
+    #: plus the serving process's bump/skew-drop counters when available);
+    #: omitted from the JSON rendering when the directory has no manifest.
+    manifest: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "entries", tuple(self.entries))
+        object.__setattr__(self, "manifest", dict(self.manifest))
 
     def to_json_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -1246,6 +1354,8 @@ class DiskCacheStats:
         }
         if self.next_cursor is not None:
             payload["next_cursor"] = self.next_cursor
+        if self.manifest:
+            payload["manifest"] = dict(self.manifest)
         return payload
 
     @classmethod
@@ -1253,7 +1363,7 @@ class DiskCacheStats:
         _check_fields(
             "DiskCacheStats",
             payload,
-            {"cache_dir", "entries", "total_payload_bytes", "next_cursor"},
+            {"cache_dir", "entries", "total_payload_bytes", "next_cursor", "manifest"},
         )
         return cls(
             cache_dir=_field(payload, "cache_dir", str),
@@ -1263,6 +1373,7 @@ class DiskCacheStats:
             ),
             total_payload_bytes=_field(payload, "total_payload_bytes", int, default=0),
             next_cursor=_opt_field(payload, "next_cursor", str),
+            manifest=_field(payload, "manifest", dict, default={}),
         )
 
     def to_json(self) -> str:
@@ -1279,16 +1390,26 @@ class ProcessCacheStats:
 
     intern_table: Mapping[str, object] = field(default_factory=dict)
     shared_value_interner: Mapping[str, object] = field(default_factory=dict)
+    #: Transposition-table sizes of the most recent proof search
+    #: (:func:`repro.proofs.search.last_tables_stats`).
+    search_tables: Mapping[str, object] = field(default_factory=dict)
+    #: The serving process's two-tier result-cache counters
+    #: (:class:`repro.service.cache.CacheStats`).
+    result_cache: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "intern_table", dict(self.intern_table))
         object.__setattr__(self, "shared_value_interner", dict(self.shared_value_interner))
+        object.__setattr__(self, "search_tables", dict(self.search_tables))
+        object.__setattr__(self, "result_cache", dict(self.result_cache))
 
     def to_json_dict(self) -> Dict[str, object]:
         return {
             "process": {
                 "intern_table": dict(self.intern_table),
                 "shared_value_interner": dict(self.shared_value_interner),
+                "search_tables": dict(self.search_tables),
+                "result_cache": dict(self.result_cache),
             }
         }
 
@@ -1296,10 +1417,16 @@ class ProcessCacheStats:
     def from_json_dict(cls, payload: Mapping[str, object]) -> "ProcessCacheStats":
         _check_fields("ProcessCacheStats", payload, {"process"})
         process = _field(payload, "process", dict, default={})
-        _check_fields("ProcessCacheStats.process", process, {"intern_table", "shared_value_interner"})
+        _check_fields(
+            "ProcessCacheStats.process",
+            process,
+            {"intern_table", "shared_value_interner", "search_tables", "result_cache"},
+        )
         return cls(
             intern_table=_field(process, "intern_table", dict, default={}),
             shared_value_interner=_field(process, "shared_value_interner", dict, default={}),
+            search_tables=_field(process, "search_tables", dict, default={}),
+            result_cache=_field(process, "result_cache", dict, default={}),
         )
 
     def to_json(self) -> str:
@@ -1336,6 +1463,8 @@ CONTRACT_TYPES = (
     SynthesisResult,
     JobStatus,
     SweepOutcome,
+    SpanInfo,
+    TraceInfo,
     SweepResponse,
     ShardInfo,
     SweepJobStatus,

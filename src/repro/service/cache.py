@@ -47,6 +47,7 @@ from repro.logic.formulas import Formula
 from repro.logic.terms import Var
 from repro.nr.columns import reset_shared_interner, shared_interner_stats
 from repro.nrc.expr import expr_size
+from repro.obs.trace import get_tracer
 from repro.service.manifest import MANIFEST_NAME, CacheManifest
 from repro.specs.problems import ImplicitDefinitionProblem
 from repro.synthesis.implicit_to_explicit import SynthesisResult
@@ -249,6 +250,14 @@ class SynthesisCache:
         self, problem: ImplicitDefinitionProblem
     ) -> Tuple[Optional[SynthesisResult], str]:
         """``(result, tier)`` with tier in ``"memory"``/``"disk"``/``"miss"``."""
+        with get_tracer().span("cache.lookup") as span:
+            result, tier = self._lookup(problem)
+            span.set_attribute("tier", tier)
+            return result, tier
+
+    def _lookup(
+        self, problem: ImplicitDefinitionProblem
+    ) -> Tuple[Optional[SynthesisResult], str]:
         self._check_manifest()
         key = spec_key(problem)
         result = self._lru.get(key)
@@ -302,15 +311,17 @@ class SynthesisCache:
         ``cost_seconds`` is the synthesis wall-time recorded in the sidecar —
         the recompute cost the disk tier's eviction policy keys on.
         """
-        if digest is None:
-            digest = spec_digest(problem)
-        self._memory_store(spec_key(problem), result)
-        self.stats.stores += 1
-        if self.disk_dir is not None:
-            self._disk_store(digest, problem, result, cost_seconds)
-            self.stats.disk_stores += 1
-            self._disk_dirty = True
-        return digest
+        with get_tracer().span("cache.store") as span:
+            if digest is None:
+                digest = spec_digest(problem)
+            self._memory_store(spec_key(problem), result)
+            self.stats.stores += 1
+            if self.disk_dir is not None:
+                self._disk_store(digest, problem, result, cost_seconds)
+                self.stats.disk_stores += 1
+                self._disk_dirty = True
+            span.set_attributes({"digest": digest, "disk": self.disk_dir is not None})
+            return digest
 
     def store_memory(self, problem: ImplicitDefinitionProblem, result: SynthesisResult) -> None:
         """Populate only the in-memory tier (no sidecar, no disk write).

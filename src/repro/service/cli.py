@@ -17,7 +17,7 @@ Subcommands::
                                 [--job-timeout S] [--node-id ID]
                                 [--worker-node U ...]
     python -m repro client      [--url U] health|list|synthesize|job|cancel|
-                                cache-stats ...
+                                cache-stats|metrics|trace ...
 
 Every subcommand is a thin client of the typed service API
 (:mod:`repro.service.api`): ``list``/``synthesize``/``verify``/``sweep``/
@@ -234,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     client_stats.add_argument("--cache-dir", default=None)
     client_stats.add_argument("--json", action="store_true", dest="as_json")
 
+    client_metrics = client_sub.add_parser("metrics", help="GET /v1/metrics")
+    client_metrics.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON snapshot instead of Prometheus text"
+    )
+
+    client_trace = client_sub.add_parser("trace", help="GET /v1/jobs/<id>/trace")
+    client_trace.add_argument("job_id")
+    client_trace.add_argument("--json", action="store_true", dest="as_json")
+
     return parser
 
 
@@ -436,6 +445,11 @@ def _cmd_cache_stats(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.obs.trace import enable_tracing
+
+    # Servers always trace: spans are how a fleet debugs itself, and the
+    # in-process CLI paths (which goldens byte-compare) stay untraced.
+    enable_tracing(True)
     service = SynthesisService(
         cache_dir=args.cache_dir,
         max_workers=args.max_workers,
@@ -462,6 +476,49 @@ def _cmd_serve(args) -> int:
 
 
 # ------------------------------------------------------------------- client
+def _http_text(url: str) -> str:
+    """GET ``url`` and return the raw response body (non-JSON routes)."""
+    http_request = urllib_request.Request(url, headers={"Accept": "text/plain"})
+    try:
+        with urllib_request.urlopen(http_request) as http_response:
+            return http_response.read().decode("utf-8")
+    except urllib_error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        raise CliError(f"HTTP {exc.code} from {url}: {body.strip()}", code=1) from exc
+    except urllib_error.URLError as exc:
+        raise CliError(
+            f"cannot reach the repro server at {url}: {exc.reason} "
+            f"(is `repro serve` running?)",
+            code=1,
+        ) from exc
+
+
+def _render_trace(trace: api.TraceInfo, as_json: bool) -> int:
+    """A parent-indented tree of the trace's spans (or the JSON document)."""
+    if as_json:
+        print(trace.to_json())
+        return 0
+    if not trace.spans:
+        print(f"trace {trace.trace_id}: no spans recorded yet")
+        return 0
+    by_parent: dict = {}
+    span_ids = {span.span_id for span in trace.spans}
+    for span in trace.spans:
+        parent = span.parent_id if span.parent_id in span_ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    def _walk(parent: Optional[str], depth: int) -> None:
+        for span in sorted(by_parent.get(parent, []), key=lambda s: (s.start, s.span_id)):
+            attrs = ", ".join(f"{k}={v}" for k, v in span.attributes.items())
+            suffix = f"  [{attrs}]" if attrs else ""
+            print(f"{'  ' * depth}{span.name:<{30 - 2 * min(depth, 10)}} {span.seconds * 1000:9.2f} ms{suffix}")
+            _walk(span.span_id, depth + 1)
+
+    print(f"trace {trace.trace_id} ({len(trace.spans)} spans)")
+    _walk(None, 0)
+    return 0
+
+
 def _http(url: str, method: str = "GET", payload: Optional[dict] = None) -> dict:
     data = None
     headers = {"Accept": "application/json"}
@@ -536,6 +593,16 @@ def _cmd_client(args) -> int:
         else:
             stats = api.DiskCacheStats.from_json_dict(payload)
         return _render_cache_stats(stats, args.as_json)
+    if command == "metrics":
+        if args.as_json:
+            payload = _http(f"{base}/{api.API_VERSION}/metrics?format=json")
+            print(json.dumps(payload, indent=2))
+        else:
+            print(_http_text(f"{base}/{api.API_VERSION}/metrics"), end="")
+        return 0
+    if command == "trace":
+        payload = _http(f"{base}/{api.API_VERSION}/jobs/{quote(args.job_id)}/trace")
+        return _render_trace(api.TraceInfo.from_json_dict(payload), args.as_json)
     raise CliError(f"unknown client command {command!r}")
 
 

@@ -46,6 +46,8 @@ from math import ceil
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACE_HEADER, TraceContext, get_tracer
 from repro.service import api
 from repro.service.workers import run_sweep
 
@@ -138,9 +140,15 @@ class HttpNode:
         )
         url = f"{self.base_url}/{api.API_VERSION}/sweeps?wait=1"
         body = shard_request.to_json().encode("utf-8")
-        http_request = urllib.request.Request(
-            url, data=body, headers={"Content-Type": "application/json"}, method="POST"
-        )
+        headers = {"Content-Type": "application/json"}
+        tracer = get_tracer()
+        context = tracer.current()
+        if context is not None:
+            # Propagate the trace across the HTTP hop: the remote server
+            # parents its request span on this header and ships its spans
+            # back inside the SweepResponse.
+            headers[TRACE_HEADER] = context.to_header()
+        http_request = urllib.request.Request(url, data=body, headers=headers, method="POST")
         try:
             with urllib.request.urlopen(http_request, timeout=self.request_timeout) as raw:
                 payload = raw.read().decode("utf-8")
@@ -150,9 +158,12 @@ class HttpNode:
         except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
             raise NodeFailure(self.name, f"{type(exc).__name__}: {exc}") from exc
         try:
-            return api.SweepResponse.from_json(payload)
+            response = api.SweepResponse.from_json(payload)
         except (api.ApiError, ValueError) as exc:
             raise NodeFailure(self.name, f"unparseable sweep response: {exc}") from exc
+        if response.spans and tracer.enabled:
+            tracer.adopt([span.to_json_dict() for span in response.spans])
+        return response
 
 
 @dataclass
@@ -247,15 +258,26 @@ class SweepCoordinator:
             self.on_update(self.shard_snapshots())
 
     # --------------------------------------------------------------- execution
-    def run(self, request: api.SweepRequest, names: Sequence[str]) -> api.SweepResponse:
+    def run(
+        self,
+        request: api.SweepRequest,
+        names: Sequence[str],
+        trace_context: Optional[TraceContext] = None,
+    ) -> api.SweepResponse:
         """Run the sweep of ``names`` (already resolved) across the fleet.
 
         Blocking — the async server calls it from an executor thread.
         Raises :class:`~repro.service.api.ApiError` (``node_unavailable``)
         only when some shard could not be completed by *any* node within its
         retry budget; per-problem failures ride home inside the response.
+
+        ``trace_context`` parents the per-shard ``fleet.shard`` spans; it
+        must be passed explicitly because shard dispatch happens on executor
+        threads that never inherit the caller's contextvars.
         """
         names = list(names)
+        if trace_context is None:
+            trace_context = get_tracer().current()
         start = time.perf_counter()
         self._shards = self.plan(names)
         self._notify()
@@ -289,7 +311,9 @@ class SweepCoordinator:
                         if self.shard_timeout is None
                         else time.monotonic() + self.shard_timeout
                     )
-                    future = executor.submit(node.run_shard, shard.names, request)
+                    future = executor.submit(
+                        self._dispatch_shard, node, shard, request, trace_context
+                    )
                     in_flight[future] = (shard, node, deadline)
                     busy[id(node)] = True
                     self._notify()
@@ -371,6 +395,35 @@ class SweepCoordinator:
         return None
 
     # ----------------------------------------------------------- failure paths
+    def _dispatch_shard(
+        self,
+        node: object,
+        shard: _Shard,
+        request: api.SweepRequest,
+        trace_context: Optional[TraceContext],
+    ) -> api.SweepResponse:
+        """One shard dispatch, on an executor thread, wrapped in its span.
+
+        The span parents on ``trace_context`` explicitly (fresh executor
+        threads have no inherited context) and becomes the current context
+        for the dispatch — so a ``LocalNode``'s worker children and an
+        ``HttpNode``'s outbound trace header both chain to it.
+        """
+        get_registry().counter(
+            "repro_sweep_shards_total",
+            "Sweep shards dispatched to worker nodes",
+            labelnames=("node",),
+        ).inc(node=shard.node)
+        with get_tracer().span(
+            "fleet.shard",
+            parent=trace_context,
+            index=shard.index,
+            node=shard.node,
+            attempt=shard.retries,
+            problems=len(shard.names),
+        ):
+            return node.run_shard(shard.names, request)
+
     def _node_failed(self, node: object, alive: List[object], failures: Dict[str, int]) -> None:
         name = getattr(node, "name", str(node))
         failures[name] = failures.get(name, 0) + 1
@@ -378,6 +431,9 @@ class SweepCoordinator:
             alive.remove(node)
 
     def _retry_or_fail(self, shard: _Shard, pending: "deque[_Shard]", reason: str) -> None:
+        get_registry().counter(
+            "repro_sweep_shard_retries_total", "Failed sweep shard dispatches (re-queued or abandoned)"
+        ).inc()
         shard.failed_on.add(shard.node)
         shard.retries += 1
         if shard.retries > self.max_retries:
@@ -389,6 +445,9 @@ class SweepCoordinator:
         pending.append(shard)
 
     def _fail_shard(self, shard: _Shard, reason: str) -> None:
+        get_registry().counter(
+            "repro_sweep_shard_failures_total", "Sweep shards that exhausted their retry budget"
+        ).inc()
         shard.state = api.SHARD_FAILED
         shard.error = api.node_unavailable(
             f"shard {shard.index} failed after {shard.retries} retr"

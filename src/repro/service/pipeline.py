@@ -37,6 +37,8 @@ from repro.logic.terms import Var
 from repro.logic.typecheck import check_formula
 from repro.nr.values import Value
 from repro.nrc.expr import expr_size
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.nrc.simplify import simplify_with_stats
 from repro.proofs.prooftree import proof_size, rules_used
 from repro.proofs.search import ProofSearch
@@ -68,6 +70,45 @@ class StageTiming:
     name: str
     seconds: float
     detail: Dict[str, object] = field(default_factory=dict)
+
+
+class _timed_stage:
+    """Times one pipeline stage and opens the matching ``pipeline.<name>`` span.
+
+    Entering yields the (mutable) detail dict; whatever the block records
+    there becomes both the :class:`StageTiming` detail and the span's
+    attributes.  The ``StageTiming`` is appended on exit — including the
+    error path, which previously had no timing at all — and when tracing is
+    enabled its seconds are re-derived from the span so the two can never
+    disagree.
+    """
+
+    __slots__ = ("_stages", "_name", "_detail", "_span", "_start")
+
+    def __init__(self, stages: List[StageTiming], name: str) -> None:
+        self._stages = stages
+        self._name = name
+        self._detail: Dict[str, object] = {}
+
+    def __enter__(self) -> Dict[str, object]:
+        self._span = get_tracer().span("pipeline." + self._name)
+        self._start = time.perf_counter()
+        return self._detail
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        seconds = time.perf_counter() - self._start
+        span = self._span
+        span.set_attributes(self._detail)
+        span.__exit__(exc_type, exc, tb)
+        if span.context is not None:
+            seconds = span.seconds
+        self._stages.append(StageTiming(self._name, seconds, self._detail))
+        get_registry().histogram(
+            "repro_pipeline_stage_seconds",
+            "Wall-clock seconds per synthesis pipeline stage",
+            labelnames=("stage",),
+        ).observe(seconds, stage=self._name)
+        return False
 
 
 @dataclass
@@ -197,66 +238,57 @@ class SynthesisPipeline:
         stages = report.stages
 
         # -------- validate: re-check the specification, canonicalize φ.
-        start = time.perf_counter()
-        check_formula(problem.phi, allow_membership=False)
-        canonical_phi = intern(problem.phi)
-        if canonical_phi is not problem.phi:
-            problem = ImplicitDefinitionProblem(
-                problem.name, canonical_phi, problem.inputs, problem.output, problem.auxiliaries
-            )
-        stages.append(
-            StageTiming(
-                STAGE_VALIDATE,
-                time.perf_counter() - start,
+        with _timed_stage(stages, STAGE_VALIDATE) as detail:
+            check_formula(problem.phi, allow_membership=False)
+            canonical_phi = intern(problem.phi)
+            if canonical_phi is not problem.phi:
+                problem = ImplicitDefinitionProblem(
+                    problem.name, canonical_phi, problem.inputs, problem.output, problem.auxiliaries
+                )
+            detail.update(
                 {
                     "formula_size": formula_size(problem.phi),
                     "free_vars": len(free_vars(problem.phi)),
                     "intern_table_nodes": intern_table_size(),
-                },
+                }
             )
-        )
 
         # -------- cache-lookup.
         result: Optional[SynthesisResult] = None
         if self.cache is not None:
-            start = time.perf_counter()
-            result, tier = self.cache.lookup(problem)
-            report.cache_tier = tier
-            detail: Dict[str, object] = {"tier": tier}
-            if self.cache.manifest is not None:
-                # Fleet provenance: which shared-manifest generation this
-                # lookup ran under (the lookup itself just synced it).
-                detail["manifest_generation"] = self.cache._manifest_generation
-            stages.append(StageTiming(STAGE_CACHE_LOOKUP, time.perf_counter() - start, detail))
+            with _timed_stage(stages, STAGE_CACHE_LOOKUP) as detail:
+                result, tier = self.cache.lookup(problem)
+                report.cache_tier = tier
+                detail["tier"] = tier
+                if self.cache.manifest is not None:
+                    # Fleet provenance: which shared-manifest generation this
+                    # lookup ran under (the lookup itself just synced it).
+                    detail["manifest_generation"] = self.cache._manifest_generation
 
         # -------- formula-compile: persisted program, node cache, or fresh.
         # The compiled specification backs the verification stage (and any
         # later eval); surfacing *where* it came from makes the persisted-
         # program tier observable — "persisted" means this process skipped
         # source generation and bytecode compilation entirely.
-        start = time.perf_counter()
-        phi_program = None
-        program_source = "compiled"
-        if self.cache is not None:
-            phi_program = self.cache.load_program(problem.phi)
-            if phi_program is not None:
-                program_source = "persisted"
-        if phi_program is None:
-            node_cache = problem.phi.__dict__.get("_fprogs")
-            if node_cache and node_cache.get(None) is not None:
-                program_source = "node-cache"
-            phi_program = compile_formula(problem.phi)
-        stages.append(
-            StageTiming(
-                STAGE_FORMULA_COMPILE,
-                time.perf_counter() - start,
+        with _timed_stage(stages, STAGE_FORMULA_COMPILE) as detail:
+            phi_program = None
+            program_source = "compiled"
+            if self.cache is not None:
+                phi_program = self.cache.load_program(problem.phi)
+                if phi_program is not None:
+                    program_source = "persisted"
+            if phi_program is None:
+                node_cache = problem.phi.__dict__.get("_fprogs")
+                if node_cache and node_cache.get(None) is not None:
+                    program_source = "node-cache"
+                phi_program = compile_formula(problem.phi)
+            detail.update(
                 {
                     "source": program_source,
                     "backend": phi_program.backend,
                     "rows_seeded": len(phi_program._seed_rows),
-                },
+                }
             )
-        )
 
         if result is None:
             result = self._synthesize_staged(problem, stages)
@@ -264,16 +296,14 @@ class SynthesisPipeline:
 
         # -------- verification (runs on hits too: instances may be new).
         if assignments is not None:
-            start = time.perf_counter()
-            rows_before = phi_program.stats["rows"]
-            run_before = phi_program.stats["rows_run"]
-            hits_before = phi_program.stats["row_hits"]
-            verification = check_explicit_definition(problem, result.expression, list(assignments))
-            report.verification = verification
-            stages.append(
-                StageTiming(
-                    STAGE_VERIFICATION,
-                    time.perf_counter() - start,
+            with _timed_stage(stages, STAGE_VERIFICATION) as detail:
+                rows_before = phi_program.stats["rows"]
+                run_before = phi_program.stats["rows_run"]
+                verification = check_explicit_definition(
+                    problem, result.expression, list(assignments)
+                )
+                report.verification = verification
+                detail.update(
                     {
                         "checked": verification.checked,
                         "satisfying": verification.satisfying,
@@ -282,9 +312,8 @@ class SynthesisPipeline:
                         "rows_evaluated": phi_program.stats["rows_run"] - run_before,
                         "rows_reused": (phi_program.stats["rows"] - rows_before)
                         - (phi_program.stats["rows_run"] - run_before),
-                    },
+                    }
                 )
-            )
 
         # -------- cache-store + bounded-memory maintenance.
         if self.cache is not None:
@@ -296,24 +325,25 @@ class SynthesisPipeline:
             if program_source != "persisted":
                 program_stored = self.cache.store_program(phi_program)
             if not report.cache_hit:
-                start = time.perf_counter()
-                self.cache.store(
-                    problem,
-                    result,
-                    digest=report.digest,
-                    cost_seconds=report.synthesis_seconds,
-                )
-                stages.append(
-                    StageTiming(
-                        STAGE_CACHE_STORE,
-                        time.perf_counter() - start,
+                with _timed_stage(stages, STAGE_CACHE_STORE) as detail:
+                    self.cache.store(
+                        problem,
+                        result,
+                        digest=report.digest,
+                        cost_seconds=report.synthesis_seconds,
+                    )
+                    detail.update(
                         {
                             "disk": self.cache.disk_dir is not None,
                             "program_stored": program_stored,
-                        },
+                        }
                     )
-                )
             self.cache.maintain()
+        get_registry().counter(
+            "repro_pipeline_runs_total",
+            "Synthesis pipeline runs by cache tier",
+            labelnames=("tier",),
+        ).inc(tier=report.cache_tier)
         return report
 
     # ------------------------------------------------------------------ cold
@@ -322,50 +352,51 @@ class SynthesisPipeline:
     ) -> SynthesisResult:
         search = self.search_factory()
 
-        start = time.perf_counter()
-        proof = find_determinacy_proof(problem, search)
-        stages.append(
-            StageTiming(
-                STAGE_PROOF_SEARCH,
-                time.perf_counter() - start,
+        with _timed_stage(stages, STAGE_PROOF_SEARCH) as detail:
+            proof = find_determinacy_proof(problem, search)
+            detail.update(
                 {
                     "proof_size": proof_size(proof),
                     "rules": rules_used(proof),
                     "attempts": search.stats.attempts,
                     "exists_moves": search.stats.exists_moves,
-                },
+                }
             )
+        registry = get_registry()
+        registry.counter("repro_proof_searches_total", "Cold determinacy proof searches").inc()
+        registry.counter("repro_proof_attempts_total", "Proof-search rule attempts").inc(
+            search.stats.attempts
         )
+        registry.counter(
+            "repro_proof_table_hits_total", "Transposition-table replays during proof search"
+        ).inc(search.stats.table_hits)
+        registry.counter(
+            "repro_proof_failure_hits_total", "Known-dead-end skips during proof search"
+        ).inc(search.stats.failure_hits)
 
-        start = time.perf_counter()
-        raw_result = synthesize(
-            problem,
-            proof=proof,
-            search=search,
-            simplify_output=False,
-            validate_proof=self.validate_proof,
-        )
-        raw = raw_result.expression
-        stages.append(
-            StageTiming(STAGE_EXTRACTION, time.perf_counter() - start, {"raw_size": expr_size(raw)})
-        )
+        with _timed_stage(stages, STAGE_EXTRACTION) as detail:
+            raw_result = synthesize(
+                problem,
+                proof=proof,
+                search=search,
+                simplify_output=False,
+                validate_proof=self.validate_proof,
+            )
+            raw = raw_result.expression
+            detail["raw_size"] = expr_size(raw)
 
         if not self.simplify_output:
             return raw_result
 
-        start = time.perf_counter()
-        simplified, rewrite_stats = simplify_with_stats(raw)
-        stages.append(
-            StageTiming(
-                STAGE_SIMPLIFICATION,
-                time.perf_counter() - start,
+        with _timed_stage(stages, STAGE_SIMPLIFICATION) as detail:
+            simplified, rewrite_stats = simplify_with_stats(raw)
+            detail.update(
                 {
                     "size_before": expr_size(raw),
                     "size_after": expr_size(simplified),
                     "rewrite_passes": rewrite_stats.passes,
-                },
+                }
             )
-        )
         return SynthesisResult(
             problem=problem,
             expression=simplified,

@@ -78,15 +78,22 @@ import os
 import socket
 import threading
 import time
+import weakref
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.interning import intern_cache_stats
+from repro.nr.columns import shared_interner_metric_samples
+from repro.obs.metrics import get_registry, process_start_time
+from repro.obs.trace import TRACE_HEADER, TraceContext, get_tracer
+from repro.proofs.search import last_tables_stats
 from repro.service import api
 from repro.service.cache import SynthesisCache, disk_entries
 from repro.service.fleet import SweepCoordinator, nodes_from_urls
+from repro.service.manifest import CacheManifest
 from repro.service.registry import ProblemRegistry, RegistryEntry, default_registry
 from repro.service.workers import (
     execute_synthesize_request,
@@ -118,6 +125,7 @@ class _Job:
     task: Optional[asyncio.Task] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: Optional[asyncio.Event] = None
+    trace_id: Optional[str] = None
 
     @property
     def active(self) -> bool:
@@ -139,6 +147,7 @@ class _SweepJob:
     error: Optional[api.ErrorInfo] = None
     task: Optional[asyncio.Task] = None
     done_event: Optional[asyncio.Event] = None
+    trace_id: Optional[str] = None
 
     @property
     def active(self) -> bool:
@@ -191,6 +200,7 @@ class SynthesisService:
         self._sweep_jobs: Dict[str, _SweepJob] = {}
         self._ids = itertools.count(1)
         self._worker_slots: Optional[asyncio.Semaphore] = None
+        _register_service_collectors(self)
 
     # ------------------------------------------------------------ sync methods
     def _entry(self, name: str) -> RegistryEntry:
@@ -277,12 +287,13 @@ class SynthesisService:
                 raise api.invalid_request(
                     "limit/cursor apply to the disk entry listing; pass cache_dir"
                 )
-            from repro.core.interning import intern_cache_stats
             from repro.nr.columns import shared_interner_stats
 
             return api.ProcessCacheStats(
                 intern_table=intern_cache_stats(),
                 shared_value_interner=shared_interner_stats(),
+                search_tables=last_tables_stats(),
+                result_cache=self.cache.stats.as_dict(),
             )
         entries = disk_entries(cache_dir)
         total_payload_bytes = sum(entry.payload_bytes for entry in entries)
@@ -297,11 +308,14 @@ class SynthesisService:
             if page and start + len(page) < len(entries):
                 next_cursor = _encode_cursor(page[-1].digest)
             entries = page
+        manifest_state = CacheManifest(cache_dir).read()
+        manifest_info: Dict[str, object] = dict(manifest_state.to_json_dict())
         return api.DiskCacheStats(
             cache_dir=str(cache_dir),
             entries=tuple(entry.to_api() for entry in entries),
             total_payload_bytes=total_payload_bytes,
             next_cursor=next_cursor,
+            manifest=manifest_info,
         )
 
     def queue_depth(self) -> int:
@@ -317,9 +331,13 @@ class SynthesisService:
         sweep_counts = {state: 0 for state in api.JOB_STATES}
         for sweep_job in self._sweep_jobs.values():
             sweep_counts[sweep_job.state] += 1
+        registry = get_registry()
         return {
             "status": "ok",
             "version": api.API_VERSION,
+            "uptime_seconds": time.time() - process_start_time(),
+            "requests_total": registry.counter_total("repro_http_requests_total"),
+            "errors_total": registry.counter_total("repro_http_errors_total"),
             "problems": len(self.registry),
             "jobs": counts,
             "jobs_enqueued": self.jobs_enqueued,
@@ -398,6 +416,8 @@ class SynthesisService:
         entry = self._entry(request.problem)
         job_id = f"job-{next(self._ids):06d}"
         now = time.time()
+        context = get_tracer().current()
+        trace_id = context.trace_id if context is not None else None
         warm = self._warm_response(request, entry)
         if warm is not None:
             self.warm_submissions += 1
@@ -409,6 +429,7 @@ class SynthesisService:
                 started_at=now,
                 finished_at=time.time(),
                 result=warm,
+                trace_id=trace_id,
             )
             self._jobs[job_id] = job
             self._prune_finished()
@@ -421,6 +442,7 @@ class SynthesisService:
             state=api.JOB_QUEUED,
             submitted_at=now,
             done_event=asyncio.Event(),
+            trace_id=trace_id,
         )
         self._jobs[job_id] = job
         self.jobs_enqueued += 1
@@ -439,28 +461,38 @@ class SynthesisService:
                 job.state = api.JOB_RUNNING
                 job.started_at = time.time()
                 loop = asyncio.get_running_loop()
-                runner = partial(
-                    run_request_in_process,
-                    job.request,
-                    cache_dir=job.request.cache_dir or self.cache_dir,
-                    timeout=job.request.timeout or self.default_job_timeout,
-                    cancel=job.cancel_event,
-                )
-                try:
-                    response, result = await loop.run_in_executor(None, runner)
-                except api.ApiError as exc:
-                    state = api.JOB_CANCELLED if exc.code == "cancelled" else api.JOB_FAILED
-                    self._finish(job, state, error=exc.info)
-                    return
-                except Exception as exc:  # noqa: BLE001 - jobs never crash the engine
-                    self._finish(
-                        job,
-                        api.JOB_FAILED,
-                        error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
+                tracer = get_tracer()
+                # The span closes (and is recorded) before this coroutine
+                # yields after ``_finish``, so ``wait``-ers that resume on the
+                # done event always see the complete job span.
+                with tracer.span("job", job_id=job.id, problem=job.request.problem) as job_span:
+                    if job_span.context is not None:
+                        job.trace_id = job_span.context.trace_id
+                    runner = partial(
+                        run_request_in_process,
+                        job.request,
+                        cache_dir=job.request.cache_dir or self.cache_dir,
+                        timeout=job.request.timeout or self.default_job_timeout,
+                        cancel=job.cancel_event,
+                        trace_context=tracer.current(),
                     )
-                    return
-                self._adopt_result(job, result)
-                self._finish(job, api.JOB_DONE, result=response)
+                    try:
+                        response, result = await loop.run_in_executor(None, runner)
+                    except api.ApiError as exc:
+                        job_span.set_attribute("error", exc.code)
+                        state = api.JOB_CANCELLED if exc.code == "cancelled" else api.JOB_FAILED
+                        self._finish(job, state, error=exc.info)
+                        return
+                    except Exception as exc:  # noqa: BLE001 - jobs never crash the engine
+                        job_span.set_attribute("error", type(exc).__name__)
+                        self._finish(
+                            job,
+                            api.JOB_FAILED,
+                            error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
+                        )
+                        return
+                    self._adopt_result(job, result)
+                    self._finish(job, api.JOB_DONE, result=response)
         except asyncio.CancelledError:
             if not job.finished_at:
                 self._finish(job, api.JOB_CANCELLED, error=api.job_cancelled(job.id).info)
@@ -565,12 +597,14 @@ class SynthesisService:
         if self.queue_depth() >= self.queue_limit:
             raise api.queue_full(self.queue_limit)
         job_id = f"sweep-{next(self._ids):06d}"
+        context = get_tracer().current()
         job = _SweepJob(
             id=job_id,
             request=request,
             state=api.JOB_QUEUED,
             submitted_at=time.time(),
             done_event=asyncio.Event(),
+            trace_id=context.trace_id if context is not None else None,
         )
 
         def _on_update(shards: Tuple[api.ShardInfo, ...]) -> None:
@@ -601,23 +635,29 @@ class SynthesisService:
                 job.state = api.JOB_RUNNING
                 job.started_at = time.time()
                 loop = asyncio.get_running_loop()
-                try:
-                    result = await loop.run_in_executor(
-                        None, coordinator.run, sweep_request, names
-                    )
-                except api.ApiError as exc:
+                tracer = get_tracer()
+                with tracer.span("sweep.job", job_id=job.id, problems=len(names)) as sweep_span:
+                    if sweep_span.context is not None:
+                        job.trace_id = sweep_span.context.trace_id
+                    try:
+                        result = await loop.run_in_executor(
+                            None, coordinator.run, sweep_request, names, tracer.current()
+                        )
+                    except api.ApiError as exc:
+                        sweep_span.set_attribute("error", exc.code)
+                        job.shards = coordinator.shard_snapshots()
+                        self._finish_sweep(job, api.JOB_FAILED, error=exc.info)
+                        return
+                    except Exception as exc:  # noqa: BLE001 - engine must survive
+                        sweep_span.set_attribute("error", type(exc).__name__)
+                        self._finish_sweep(
+                            job,
+                            api.JOB_FAILED,
+                            error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
+                        )
+                        return
                     job.shards = coordinator.shard_snapshots()
-                    self._finish_sweep(job, api.JOB_FAILED, error=exc.info)
-                    return
-                except Exception as exc:  # noqa: BLE001 - engine must survive
-                    self._finish_sweep(
-                        job,
-                        api.JOB_FAILED,
-                        error=api.ApiError("internal", f"{type(exc).__name__}: {exc}").info,
-                    )
-                    return
-                job.shards = coordinator.shard_snapshots()
-                self._finish_sweep(job, api.JOB_DONE, result=result)
+                    self._finish_sweep(job, api.JOB_DONE, result=result)
         except asyncio.CancelledError:
             if not job.finished_at:
                 self._finish_sweep(
@@ -647,6 +687,103 @@ class SynthesisService:
                 pass  # return the still-running snapshot
         return self._sweep_snapshot(job)
 
+    # -------------------------------------------------------------- telemetry
+    def job_trace(self, job_id: str) -> api.TraceInfo:
+        """Spans recorded so far for a (sweep) job — ``GET /v1/jobs/<id>/trace``.
+
+        Finished jobs answer their full stitched trace; running jobs answer
+        whatever spans have closed so far.  Jobs submitted while tracing was
+        disabled have no trace and answer the structured ``no_trace`` error.
+        """
+        job = self._jobs.get(job_id) or self._sweep_jobs.get(job_id)
+        if job is None:
+            raise api.unknown_job(job_id)
+        if job.trace_id is None:
+            raise api.ApiError(
+                "no_trace",
+                f"job {job_id!r} has no recorded trace (tracing disabled at submit)",
+                {"job_id": job_id},
+            )
+        spans = tuple(
+            api.SpanInfo.from_json_dict(span)
+            for span in get_tracer().spans_for(job.trace_id)
+        )
+        return api.TraceInfo(trace_id=job.trace_id, job_id=job_id, spans=spans)
+
+    def trace_spans(self, trace_id: Optional[str]) -> Tuple[api.SpanInfo, ...]:
+        """Typed spans for ``trace_id`` (empty when unknown or ``None``)."""
+        if trace_id is None:
+            return ()
+        return tuple(
+            api.SpanInfo.from_json_dict(span)
+            for span in get_tracer().spans_for(trace_id)
+        )
+
+
+def _register_service_collectors(service: SynthesisService) -> None:
+    """Mirror this service's live telemetry into the metrics registry.
+
+    Registered as a pull collector (run on every scrape) holding only a weak
+    reference — when the service is garbage collected the callback reports
+    itself dead and the registry prunes it, so tests that build many
+    short-lived services do not leak collectors.  All values are ``set`` as
+    absolute snapshots of the service's own cumulative counters; nothing here
+    shares a metric name with the ``inc``/merge-based pipeline metrics.
+    """
+    ref = weakref.ref(service)
+
+    def _collect() -> bool:
+        svc = ref()
+        if svc is None:
+            return False
+        registry = get_registry()
+        for key, value in svc.cache.stats.as_dict().items():
+            registry.counter(
+                f"repro_cache_{key}_total", f"Result cache cumulative {key} (service-local)"
+            ).set(float(value))
+        registry.gauge(
+            "repro_cache_memory_entries", "Entries currently in the memory (LRU) tier"
+        ).set(float(len(svc.cache)))
+        registry.gauge(
+            "repro_cache_manifest_generation",
+            "Manifest generation this node's memory tier was warmed under",
+        ).set(float(svc.cache.manifest_generation()))
+        registry.gauge(
+            "repro_jobs_queue_depth", "Jobs currently queued or running (jobs + sweeps)"
+        ).set(float(svc.queue_depth()))
+        registry.counter(
+            "repro_jobs_enqueued_total", "Cold synthesize jobs accepted into the queue"
+        ).set(float(svc.jobs_enqueued))
+        registry.counter(
+            "repro_jobs_warm_submissions_total", "Submissions answered inline from cache"
+        ).set(float(svc.warm_submissions))
+        registry.counter(
+            "repro_sweeps_enqueued_total", "Sweep jobs accepted into the queue"
+        ).set(float(svc.sweeps_enqueued))
+        for key, value in intern_cache_stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(
+                "repro_interner_table", "Formula intern table telemetry", labelnames=("key",)
+            ).set(float(value), key=str(key))
+        for key, value in shared_interner_metric_samples().items():
+            registry.gauge(
+                "repro_interner_shared",
+                "Shared value-interner telemetry",
+                labelnames=("key",),
+            ).set(value, key=str(key))
+        for key, value in last_tables_stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(
+                "repro_proof_tables",
+                "Most recent proof-search table telemetry",
+                labelnames=("key",),
+            ).set(float(value), key=str(key))
+        return True
+
+    get_registry().register_collector(_collect)
+
 
 # --------------------------------------------------------------- HTTP plumbing
 _REASONS = {
@@ -673,6 +810,15 @@ class _HttpRequest:
     path: str
     query: Dict[str, str]
     body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _PlainText:
+    """A non-JSON route payload: raw text plus its Content-Type."""
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
 
 
 async def _read_http_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
@@ -701,7 +847,9 @@ async def _read_http_request(reader: asyncio.StreamReader) -> Optional[_HttpRequ
     body = await reader.readexactly(length) if length else b""
     split = urlsplit(target)
     query = {key: values[-1] for key, values in parse_qs(split.query).items()}
-    return _HttpRequest(method=method.upper(), path=split.path, query=query, body=body)
+    return _HttpRequest(
+        method=method.upper(), path=split.path, query=query, body=body, headers=headers
+    )
 
 
 def _truthy(value: Optional[str]) -> bool:
@@ -762,6 +910,18 @@ async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int,
         if _truthy(request.query.get("wait")) and not status.finished:
             status = await service.wait(status.id)
         return _job_http_status(status), status.to_json_dict()
+    if path == f"{v}/metrics":
+        if method != "GET":
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        registry = get_registry()
+        if request.query.get("format") == "json":
+            return 200, registry.collect()
+        return 200, _PlainText(registry.render_prometheus())
+    if path.startswith(f"{v}/jobs/") and path.endswith("/trace"):
+        job_id = path[len(f"{v}/jobs/") : -len("/trace")]
+        if method != "GET" or not job_id:
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        return 200, service.job_trace(job_id).to_json_dict()
     if path.startswith(f"{v}/jobs/"):
         job_id = path[len(f"{v}/jobs/") :]
         if method == "GET":
@@ -785,7 +945,17 @@ async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int,
                 raise api.ApiError.from_info(status.error)
             if status.result is None:
                 raise api.ApiError("internal", f"sweep {status.id} finished without result")
-            return 200, status.result.to_json_dict()
+            payload = status.result.to_json_dict()
+            # Hand the caller this node's spans for the sweep so a remote
+            # coordinator can stitch one fleet-wide trace across HTTP hops.
+            job = service._sweep_jobs.get(status.id)
+            spans = service.trace_spans(job.trace_id if job is not None else None)
+            if spans:
+                payload["spans"] = [span.to_json_dict() for span in spans]
+                current = get_tracer().current_span()
+                if current is not None:
+                    payload["spans"].append(current.snapshot())
+            return 200, payload
         return _sweep_http_status(status), status.to_json_dict()
     if path.startswith(f"{v}/sweeps/"):
         sweep_id = path[len(f"{v}/sweeps/") :]
@@ -824,29 +994,65 @@ def _job_http_status(status: api.JobStatus, poll: bool = False) -> int:
     return status.error.http_status
 
 
+def _normalize_endpoint(path: str) -> str:
+    """A bounded-cardinality endpoint label for HTTP metrics."""
+    v = f"/{api.API_VERSION}"
+    if path.startswith(f"{v}/jobs/"):
+        return f"{v}/jobs/<id>/trace" if path.endswith("/trace") else f"{v}/jobs/<id>"
+    if path.startswith(f"{v}/sweeps/"):
+        return f"{v}/sweeps/<id>"
+    known = {
+        "/healthz",
+        f"{v}/problems",
+        f"{v}/synthesize",
+        f"{v}/sweeps",
+        f"{v}/cache/stats",
+        f"{v}/metrics",
+    }
+    return path if path in known else "<other>"
+
+
 async def _handle_connection(
     service: SynthesisService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
     status, payload = 500, api.ApiError("internal", "unhandled server error").to_json_dict()
+    endpoint, http_method = "<other>", "?"
+    started = time.perf_counter()
+    span = None
+    record = False
+    tracer = get_tracer()
     try:
         try:
             request = await _read_http_request(reader)
             if request is None:
                 return
+            endpoint = _normalize_endpoint(request.path)
+            http_method = request.method
+            parent = TraceContext.from_header(request.headers.get(TRACE_HEADER.lower()))
+            span = tracer.span(
+                "http.request", parent=parent, method=request.method, endpoint=endpoint
+            )
+            record = True
             status, payload = await _route(service, request)
         except api.ApiError as exc:
+            record = True
             status, payload = exc.http_status, exc.to_json_dict()
         except (asyncio.IncompleteReadError, ConnectionError):
             return
         except Exception as exc:  # noqa: BLE001 - a request must never kill the server
             error = api.ApiError("internal", f"{type(exc).__name__}: {exc}")
             status, payload = error.http_status, error.to_json_dict()
-        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        if isinstance(payload, _PlainText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         )
@@ -855,6 +1061,27 @@ async def _handle_connection(
     except ConnectionError:
         pass
     finally:
+        if span is not None:
+            span.set_attribute("status", status)
+            span.finish()
+        if record:
+            registry = get_registry()
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests served, by method/endpoint/status",
+                labelnames=("method", "endpoint", "status"),
+            ).inc(method=http_method, endpoint=endpoint, status=str(status))
+            if status >= 500:
+                registry.counter(
+                    "repro_http_errors_total",
+                    "HTTP requests answered with a 5xx status",
+                    labelnames=("endpoint",),
+                ).inc(endpoint=endpoint)
+            registry.histogram(
+                "repro_http_request_seconds",
+                "Wall-clock seconds spent answering HTTP requests",
+                labelnames=("endpoint",),
+            ).observe(time.perf_counter() - started, endpoint=endpoint)
         writer.close()
         try:
             await writer.wait_closed()

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.nrc.expr import expr_size
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TraceContext, export_obs_state, get_tracer, install_child_obs
 from repro.proofs.search import ProofSearch
 from repro.service import api
 from repro.service.cache import SynthesisCache
@@ -58,6 +60,12 @@ class JobOutcome:
     verified: Optional[bool] = None
     error: Optional[str] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry riding home from a worker child: finished span dicts and a
+    #: counter/histogram snapshot.  Absorbed (and cleared) by the parent's
+    #: tracer/registry as soon as the outcome crosses the pipe — they never
+    #: reach the ``SweepOutcome`` wire contract.
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -70,7 +78,10 @@ class JobOutcome:
 
     def to_api(self) -> api.SweepOutcome:
         """The typed wire rendering of this outcome (:mod:`repro.service.api`)."""
-        return api.SweepOutcome(**self.__dict__)
+        payload = dict(self.__dict__)
+        payload.pop("spans", None)
+        payload.pop("metrics", None)
+        return api.SweepOutcome(**payload)
 
     def as_dict(self) -> Dict[str, object]:
         return self.to_api().to_json_dict()
@@ -167,11 +178,14 @@ def execute_synthesize_request(
 def _request_child(payload: Dict[str, object], options: Dict[str, object], conn) -> None:
     """Worker-process entry point for one typed request.
 
-    Ships back a tagged tuple: ``("ok", response_json, result_ast)`` on
-    success (the AST rides along so the parent can warm its memory tier),
-    ``("api_error", error_json)`` for structured failures, and
-    ``("internal_error", message)`` for anything unexpected.
+    Ships back a tagged tuple whose last two elements are always the child's
+    finished trace spans and metric snapshot: ``("ok", response_json,
+    result_ast, spans, metrics)`` on success (the AST rides along so the
+    parent can warm its memory tier), ``("api_error", error_json, spans,
+    metrics)`` for structured failures, and ``("internal_error", message,
+    spans, metrics)`` for anything unexpected.
     """
+    install_child_obs(options.get("obs"))
     try:
         request = api.SynthesizeRequest.from_json_dict(payload)
         # Same cache policy as the CLI's in-process service: the disk tier
@@ -180,12 +194,14 @@ def _request_child(payload: Dict[str, object], options: Dict[str, object], conn)
         # ("cache-lookup: miss" included) as an inline run.
         cache_dir = options.get("cache_dir")
         cache = SynthesisCache(disk_dir=cache_dir) if cache_dir else SynthesisCache()
-        response, result, _ = execute_synthesize_request(request, cache=cache)
-        conn.send(("ok", response.to_json_dict(), result))
+        with get_tracer().span("worker.request", problem=request.problem, pid=os.getpid()):
+            response, result, _ = execute_synthesize_request(request, cache=cache)
+        message: tuple = ("ok", response.to_json_dict(), result)
     except api.ApiError as exc:
-        conn.send(("api_error", exc.to_json_dict()))
+        message = ("api_error", exc.to_json_dict())
     except Exception as exc:  # noqa: BLE001 - the parent re-raises as ApiError
-        conn.send(("internal_error", f"{type(exc).__name__}: {exc}"))
+        message = ("internal_error", f"{type(exc).__name__}: {exc}")
+    conn.send(message + (get_tracer().export_all(), get_registry().snapshot()))
     conn.close()
 
 
@@ -195,6 +211,7 @@ def run_request_in_process(
     timeout: Optional[float] = None,
     cancel=None,
     poll_interval: float = 0.05,
+    trace_context: Optional[TraceContext] = None,
 ) -> Tuple[api.SynthesisResult, Optional[SynthesisResult]]:
     """Run ``request`` in its own worker process; block until it resolves.
 
@@ -204,12 +221,17 @@ def run_request_in_process(
     ``cancel`` event (any object with ``is_set()``) and the deadline.  On
     timeout/cancellation the child is ``terminate()``-d and the matching
     structured :class:`~repro.service.api.ApiError` is raised.
+
+    ``trace_context`` parents the child's spans explicitly — executor
+    threads do not inherit the submitting task's contextvars, so the job
+    engine passes its job span's context by hand.
     """
     ctx = multiprocessing.get_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
+    options = {"cache_dir": cache_dir, "obs": export_obs_state(trace_context)}
     process = ctx.Process(
         target=_request_child,
-        args=(request.to_json_dict(), {"cache_dir": cache_dir}, child_conn),
+        args=(request.to_json_dict(), options, child_conn),
         daemon=True,
     )
     process.start()
@@ -245,12 +267,21 @@ def run_request_in_process(
         parent_conn.close()
     if message is None:
         raise api.ApiError("internal", f"worker died with exit code {process.exitcode}")
+    _absorb_child_obs(message[-2], message[-1])
     kind = message[0]
     if kind == "ok":
         return api.SynthesisResult.from_json_dict(message[1]), message[2]
     if kind == "api_error":
         raise api.ApiError.from_json_dict(message[1])
     raise api.ApiError("internal", str(message[1]))
+
+
+def _absorb_child_obs(spans: object, metrics: object) -> None:
+    """Merge a worker child's exported telemetry into this process."""
+    if isinstance(spans, list) and spans:
+        get_tracer().adopt(spans)
+    if isinstance(metrics, dict) and metrics:
+        get_registry().merge_snapshot(metrics)
 
 
 # ---------------------------------------------------------------- job bodies
@@ -324,8 +355,17 @@ def _execute_job(name: str, options: Dict[str, object]) -> JobOutcome:
 
 
 def _job_child(name: str, options: Dict[str, object], conn) -> None:
-    """Worker-process entry point: run the job, ship the outcome back."""
-    conn.send(_execute_job(name, options))
+    """Worker-process entry point: run the job, ship the outcome back.
+
+    The outcome carries the child's finished spans and metric snapshot; the
+    parent's sweep loop absorbs them into its own tracer/registry.
+    """
+    install_child_obs(options.get("obs"))
+    with get_tracer().span("worker.job", problem=name, pid=os.getpid()):
+        outcome = _execute_job(name, options)
+    outcome.spans = get_tracer().export_all()
+    outcome.metrics = get_registry().snapshot()
+    conn.send(outcome)
     conn.close()
 
 
@@ -375,6 +415,9 @@ def run_sweep(
         "cache_dir": cache_dir,
         "max_depth": max_depth,
         "verify_scale": verify_scale,
+        # Trace parentage for worker children: the sweep runs under whatever
+        # span is current here (e.g. a fleet shard span).
+        "obs": export_obs_state(),
     }
     if processes is None:
         processes = min(len(names), os.cpu_count() or 1) or 1
@@ -439,6 +482,9 @@ def run_sweep(
                     error=f"exceeded per-job timeout of {timeout:.1f}s",
                 )
             if outcome is not None:
+                _absorb_child_obs(outcome.spans, outcome.metrics)
+                outcome.spans = []
+                outcome.metrics = {}
                 process.join()
                 conn.close()
                 del running[process]

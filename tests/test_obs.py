@@ -1,0 +1,254 @@
+"""The telemetry primitives: metrics registry, Prometheus text, trace spans.
+
+Everything here is in-process — cross-process and cross-HTTP propagation is
+exercised in ``test_obs_propagation.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACE_HEADER,
+    TraceContext,
+    Tracer,
+    enable_tracing,
+    export_obs_state,
+    get_tracer,
+    install_child_obs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts from disabled tracing and an empty registry."""
+    reset_registry()
+    tracer = enable_tracing(False)
+    tracer.reset()
+    tracer.activate(None)
+    yield
+    reset_registry()
+    tracer = enable_tracing(False)
+    tracer.reset()
+    tracer.activate(None)
+
+
+# ------------------------------------------------------------------- metrics
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "help", labelnames=("kind",))
+    counter.inc(kind="a")
+    counter.inc(2, kind="a")
+    counter.inc(kind="b")
+    assert counter.value(kind="a") == 3
+    assert counter.value(kind="b") == 1
+    assert counter.total() == 4
+    with pytest.raises(ValueError):
+        counter.inc(-1, kind="a")
+
+
+def test_metric_registration_is_idempotent_but_type_safe():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_x_total", "help")
+    assert registry.counter("repro_x_total") is first
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.counter("repro_x_total", labelnames=("other",))
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_test_seconds", "help")
+    histogram.observe(0.003)
+    histogram.observe(0.003)
+    histogram.observe(100.0)  # past the last bound: only +Inf sees it
+    ((labels, counts, total, count),) = histogram.samples()
+    assert labels == {}
+    assert count == 3
+    assert total == pytest.approx(100.006)
+    # Cumulative: every bucket with bound >= 0.003 counted both small values.
+    by_bound = dict(zip(DEFAULT_BUCKETS, counts))
+    assert by_bound[0.0025] == 0
+    assert by_bound[0.005] == 2
+    assert by_bound[10.0] == 2
+
+
+def test_prometheus_rendering_is_parseable_and_escaped():
+    registry = MetricsRegistry()
+    registry.counter("repro_req_total", "requests", labelnames=("path",)).inc(
+        path='we"ird\n\\path'
+    )
+    registry.histogram("repro_lat_seconds", "latency").observe(0.004)
+    text = registry.render_prometheus()
+    assert "# HELP repro_req_total requests" in text
+    assert "# TYPE repro_req_total counter" in text
+    assert '\\"' in text and "\\n" in text and "\\\\" in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_lat_seconds_count 1" in text
+    # Every non-comment line is `name{labels} value` with a float-able value.
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        float(line.rsplit(" ", 1)[1])
+
+
+def test_collect_json_snapshot_round_trips_through_json():
+    registry = MetricsRegistry()
+    registry.counter("repro_a_total", "a").inc()
+    registry.histogram("repro_b_seconds", "b").observe(0.5)
+    payload = json.loads(json.dumps(registry.collect()))
+    names = {metric["name"] for metric in payload["metrics"]}
+    assert {"repro_a_total", "repro_b_seconds"} <= names
+
+
+def test_merge_snapshot_adds_worker_counts_into_parent():
+    parent, child = MetricsRegistry(), MetricsRegistry()
+    parent.counter("repro_proof_attempts_total", "attempts").inc(5)
+    child.counter("repro_proof_attempts_total", "attempts").inc(7)
+    child.histogram("repro_stage_seconds", "s", labelnames=("stage",)).observe(
+        0.01, stage="validate"
+    )
+    parent.merge_snapshot(child.snapshot())
+    parent.merge_snapshot(child.snapshot())  # merges are plain addition
+    assert parent.counter_total("repro_proof_attempts_total") == 19
+    ((labels, _counts, _total, count),) = parent.histogram(
+        "repro_stage_seconds", labelnames=("stage",)
+    ).samples()
+    assert labels == {"stage": "validate"}
+    assert count == 2
+
+
+def test_collectors_run_on_scrape_and_dead_ones_are_pruned():
+    registry = MetricsRegistry()
+    alive = {"dead": False}
+
+    def collector():
+        if alive["dead"]:
+            return False
+        registry.gauge("repro_live_gauge", "live").set(42.0)
+        return True
+
+    registry.register_collector(collector)
+    assert "repro_live_gauge 42" in registry.render_prometheus()
+    alive["dead"] = True
+    registry.run_collectors()
+    registry.register_collector(lambda: True)
+    assert len(registry._collectors) == 1
+
+
+# -------------------------------------------------------------------- traces
+def test_disabled_tracer_hands_out_the_noop_singleton_and_buffers_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("anything", key="value") as span:
+        assert span is NOOP_SPAN
+        with tracer.span("nested") as inner:
+            assert inner is NOOP_SPAN
+    assert tracer.export_all() == []
+    assert tracer.trace_count() == 0
+    assert tracer.current() is None
+
+
+def test_spans_nest_through_the_contextvar():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+        assert tracer.current_span() is outer
+    spans = {span["name"]: span for span in tracer.export_all()}
+    assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+    assert "parent_id" not in spans["outer"]
+    assert spans["inner"]["seconds"] <= spans["outer"]["seconds"]
+
+
+def test_explicit_parent_overrides_the_contextvar():
+    tracer = Tracer(enabled=True)
+    remote = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    with tracer.span("local-root"):
+        with tracer.span("stitched", parent=remote) as span:
+            assert span.trace_id == remote.trace_id
+    stitched = next(s for s in tracer.export_all() if s["name"] == "stitched")
+    assert stitched["parent_id"] == remote.span_id
+
+
+def test_trace_header_round_trip_and_strictness():
+    context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    assert TraceContext.from_header(context.to_header()) == context
+    assert TRACE_HEADER == "X-Repro-Trace"
+    for bad in (None, "", "no-colon", ":x", "x:", "g" * 10 + ":abc", "a" * 99 + ":bb"):
+        assert TraceContext.from_header(bad) is None
+
+
+def test_exception_inside_span_is_recorded_and_reraised():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("kaput")
+    (span,) = tracer.export_all()
+    assert span["attributes"]["error"] == "RuntimeError: kaput"
+
+
+def test_adopt_stitches_foreign_spans_and_rejects_malformed_ones():
+    tracer = Tracer(enabled=True)
+    with tracer.span("parent") as parent:
+        trace_id = parent.trace_id
+    foreign = {
+        "trace_id": trace_id,
+        "span_id": "ee" * 8,
+        "name": "remote.work",
+        "start": 1.0,
+        "seconds": 0.5,
+    }
+    assert tracer.adopt([foreign, {"name": "missing-everything"}]) == 1
+    names = {span["name"] for span in tracer.spans_for(trace_id)}
+    assert names == {"parent", "remote.work"}
+
+
+def test_trace_buffer_evicts_oldest_traces():
+    tracer = Tracer(enabled=True)
+    tracer.MAX_TRACES = 4
+    for index in range(8):
+        with tracer.span(f"root-{index}"):
+            pass
+    assert tracer.trace_count() == 4
+    names = {span["name"] for span in tracer.export_all()}
+    assert names == {f"root-{index}" for index in range(4, 8)}
+
+
+def test_export_and_install_child_obs_round_trip():
+    tracer = enable_tracing(True)
+    with tracer.span("parent") as parent:
+        state = export_obs_state(tracer.current())
+    assert state["enabled"] is True
+    assert state["trace"] == f"{parent.trace_id}:{parent.span_id}"
+    # A forked child installs the state: fresh tracer, parent context active.
+    install_child_obs(state)
+    child_tracer = get_tracer()
+    assert child_tracer.export_all() == []
+    with child_tracer.span("child-work") as child:
+        assert child.trace_id == parent.trace_id
+    # A falsy state disables tracing entirely (parent had it off).
+    install_child_obs(None)
+    assert get_tracer().span("ignored") is NOOP_SPAN
+
+
+def test_stage_timings_flow_into_the_global_registry():
+    from repro.service import api
+    from repro.service.server import SynthesisService
+
+    service = SynthesisService()
+    service.synthesize(api.SynthesizeRequest(problem="identity_view"))
+    registry = get_registry()
+    assert registry.counter_total("repro_pipeline_runs_total") == 1
+    samples = registry.histogram(
+        "repro_pipeline_stage_seconds", labelnames=("stage",)
+    ).samples()
+    stages = {labels["stage"] for labels, _, _, _ in samples}
+    assert {"validate", "proof-search", "extraction"} <= stages

@@ -125,6 +125,24 @@ sweep_outcomes = st.builds(
     stage_seconds=st.dictionaries(names, seconds, max_size=4),
 )
 
+span_infos = st.builds(
+    api.SpanInfo,
+    trace_id=st.from_regex(r"[0-9a-f]{32}", fullmatch=True),
+    span_id=st.from_regex(r"[0-9a-f]{16}", fullmatch=True),
+    name=names,
+    start=seconds,
+    seconds=seconds,
+    parent_id=st.one_of(st.none(), st.from_regex(r"[0-9a-f]{16}", fullmatch=True)),
+    attributes=details,
+)
+
+trace_infos = st.builds(
+    api.TraceInfo,
+    trace_id=st.from_regex(r"[0-9a-f]{32}", fullmatch=True),
+    job_id=names,
+    spans=st.lists(span_infos, max_size=3).map(tuple),
+)
+
 sweep_responses = st.builds(
     api.SweepResponse,
     wall_seconds=seconds,
@@ -133,6 +151,7 @@ sweep_responses = st.builds(
     cache_hits=st.integers(0, 100),
     ok=st.booleans(),
     jobs=st.lists(sweep_outcomes, max_size=3).map(tuple),
+    spans=st.lists(span_infos, max_size=2).map(tuple),
 )
 
 shard_infos = st.builds(
@@ -181,12 +200,15 @@ disk_cache_stats = st.builds(
     entries=st.lists(cache_entries, max_size=3).map(tuple),
     total_payload_bytes=st.integers(0, 10**9),
     next_cursor=st.one_of(st.none(), names),
+    manifest=details,
 )
 
 process_cache_stats = st.builds(
     api.ProcessCacheStats,
     intern_table=details,
     shared_value_interner=details,
+    search_tables=details,
+    result_cache=details,
 )
 
 ROUNDTRIP_STRATEGIES = {
@@ -202,6 +224,8 @@ ROUNDTRIP_STRATEGIES = {
     api.ErrorInfo: error_infos,
     api.JobStatus: job_statuses,
     api.SweepOutcome: sweep_outcomes,
+    api.SpanInfo: span_infos,
+    api.TraceInfo: trace_infos,
     api.SweepResponse: sweep_responses,
     api.ShardInfo: shard_infos,
     api.SweepJobStatus: sweep_job_statuses,

@@ -28,6 +28,7 @@ from repro.logic.formulas import (
     Formula,
     Member,
     NeqUr,
+    NotMember,
     Or,
     Top,
 )
@@ -47,7 +48,19 @@ class InterpolationResult:
 
 def interpolate(proof: ProofNode, partition: Partition) -> Formula:
     """Compute a Craig interpolant for the partitioned conclusion of ``proof``."""
-    return _interpolate(proof, partition)
+    theta = _interpolate(proof, partition)
+    extra = set(free_vars(theta)) - set(partition.common_vars())
+    if extra:
+        # Cross-side ∈/≠ literals defer variable elimination to the ∀ node
+        # that introduced the variable; when that node's bound is itself not
+        # common (e.g. a primed auxiliary) no common-language closure exists
+        # for this proof shape.  Refuse rather than emit a non-interpolant.
+        names = ", ".join(sorted(v.name for v in extra))
+        raise InterpolationError(
+            f"interpolant mentions non-common variables {names}; "
+            "this proof's cross-side structure is outside the supported fragment"
+        )
+    return theta
 
 
 # --------------------------------------------------------------------------
@@ -88,7 +101,22 @@ def _interpolate(node: ProofNode, partition: Partition) -> Formula:
         inner = partition.for_premise(
             premise.sequent, {body: side}, {Member(fresh, principal.bound): side}
         )
-        return _interpolate(premise, inner)
+        theta = _interpolate(premise, inner)
+        if fresh in free_vars(theta):
+            # Rules above may record facts about the eigenvariable in the
+            # interpolant (cross-side ∈/≠ literals).  Close over it at its
+            # introduction point: it ranges over ``bound``, so a left
+            # principal yields an ∃-closure (the left side exhibits a bound
+            # element falsifying the body) and a right principal an ∀.
+            from repro.logic.free_vars import fresh_var
+
+            replacement = fresh_var(fresh.name, fresh.typ, free_vars(theta))
+            closed = substitute(theta, fresh, replacement)
+            if side == LEFT:
+                theta = Exists(replacement, principal.bound, closed)
+            else:
+                theta = Forall(replacement, principal.bound, closed)
+        return theta
     if rule == "exists":
         return _interpolate_exists(node, partition)
     if rule == "neq":
@@ -140,38 +168,45 @@ def _interpolate_exists(node: ProofNode, partition: Partition) -> Formula:
     inner = partition.for_premise(premise.sequent, {specialized: side})
     theta = _interpolate(premise, inner)
 
-    # Eliminate witness variables that are not common in the conclusion,
-    # bounding them by the quantifier bounds they instantiated (Lemma 11 /
-    # Appendix D: "the term is replaced by a quantified variable").
+    # Each witness was justified by an ∈-atom ``witness ∈ bound`` of Θ (the
+    # rule checks this).  When that atom sits on the *same* side as the
+    # principal, the premise conditions absorb the specialized formula back
+    # into the principal and the interpolant needs no change.  When it sits
+    # on the *opposite* side, the instantiation smuggles bound information
+    # across the partition and the interpolant must record it (Lemma 11 /
+    # Appendix D) — crucially even when the witness does not occur in the
+    # interpolant, since the bounded quantifier still asserts the bound is
+    # inhabited (dropping the vacuous guard is unsound: the other side may
+    # hold in a model where the bound is empty).
+    from repro.logic.free_vars import fresh_var
     from repro.proofs.focused import specialization_bounds
 
     bounds = specialization_bounds(principal, witnesses)
     common = partition.common_vars()
-    avoid = set(free_vars(theta)) | set(common)
+    avoid = set(free_vars(theta)) | set(common) | {w for w in witnesses if isinstance(w, Var)}
+    # Innermost-first so that nested quantifiers end up correctly ordered
+    # (an inner bound may mention an outer witness variable, which the
+    # outer quantifier must capture).
     for witness, bound in zip(reversed(witnesses), reversed(bounds)):
-        theta_vars = free_vars(theta)
-        witness_vars = term_vars(witness)
-        offending = (witness_vars - common) & theta_vars
-        if not offending:
+        atom_side = partition.side_of_atom(Member(witness, bound))
+        if atom_side == side:
             continue
-        if not isinstance(witness, Var):
-            raise InterpolationError(
-                f"cannot eliminate non-variable witness {witness} from the interpolant; "
-                "apply ×η/×β normalization to the proof first"
-            )
-        bound_vars = term_vars(bound)
-        if not bound_vars <= common:
-            raise InterpolationError(
-                f"quantifier bound {bound} mixes non-common variables; cannot bound-quantify {witness}"
-            )
-        from repro.logic.free_vars import fresh_var
-
-        replacement = fresh_var(witness.name, witness.typ, avoid | free_vars(theta))
-        body = substitute(theta, witness, replacement)
-        if side == LEFT:
-            theta = Forall(replacement, bound, body)
+        if isinstance(witness, Var) and witness not in common:
+            # Replace the cross-side witness by a bound-quantified variable.
+            replacement = fresh_var(witness.name, witness.typ, avoid | free_vars(theta))
+            body = substitute(theta, witness, replacement)
+            if side == LEFT:
+                theta = Forall(replacement, bound, body)
+            else:
+                theta = Exists(replacement, bound, body)
+        elif side == LEFT:
+            # A left principal instantiated from a right-side atom weakens
+            # the interpolant; the mirror case strengthens it.  Non-common
+            # variables of the literal are eigenvariables, closed over at
+            # their introducing ∀ node.
+            theta = Or(theta, NotMember(witness, bound))
         else:
-            theta = Exists(replacement, bound, body)
+            theta = And(theta, Member(witness, bound))
     return theta
 
 
@@ -193,14 +228,21 @@ def _interpolate_neq(node: ProofNode, partition: Partition) -> Formula:
     # Cross-side replacement (Appendix E, ≠ cases): the equality hypothesis
     # ``t = u`` lives on one side while the rewritten atom lives on the other.
     common = partition.common_vars()
-    replaced_common = term_vars(neq.right) <= common
-    if replaced_common:
-        if neq_side == LEFT:
-            # hypothesis t = u on the left, rewritten atom on the right
-            return And(theta, EqUr(neq.left, neq.right))
-        return Or(theta, NeqUr(neq.left, neq.right))
-    # Otherwise eliminate u from the interpolant by substituting t for it.
-    return replace_term(theta, neq.right, neq.left)
+    if not term_vars(neq.right) <= common:
+        # Try to eliminate u from the interpolant by substituting t for it —
+        # but only if that removes every occurrence of u's non-common
+        # variables.  Stray occurrences (e.g. a different projection of the
+        # same eigenvariable recorded by a deeper cross-side literal) would
+        # survive the term-level replacement with the wrong meaning.
+        candidate = replace_term(theta, neq.right, neq.left)
+        if not (term_vars(neq.right) - common) & free_vars(candidate):
+            return candidate
+    # Record the equality hypothesis as a literal; non-common variables in
+    # it are eigenvariables, closed over at their introducing ∀ node.
+    if neq_side == LEFT:
+        # hypothesis t = u on the left, rewritten atom on the right
+        return And(theta, EqUr(neq.left, neq.right))
+    return Or(theta, NeqUr(neq.left, neq.right))
 
 
 # ------------------------------------------------------------------ helpers

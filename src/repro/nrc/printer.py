@@ -1,13 +1,18 @@
-"""Pretty-printing of NRC expressions.
+"""Pretty-printing of NRC expressions and Δ0 formulas.
 
 ``pretty`` renders an expression as indented multi-line text (useful for
 inspecting synthesized definitions, which can be large before
 simplification); ``str(expr)`` remains the compact single-line form.
+``pretty_formula`` does the same for formulas, which makes whole
+specifications printable (:func:`repro.specs.lang.pretty_problem`).  Both
+are token-faithful: stripping whitespace from the pretty form yields the
+compact form, so the spec-language parser inverts either rendering.
 """
 
 from __future__ import annotations
 
 from repro.errors import TypeMismatchError
+from repro.logic.formulas import And, Exists, Forall, Formula, Or
 from repro.nrc.expr import (
     NBigUnion,
     NDiff,
@@ -64,3 +69,34 @@ def _render(expr: NRCExpr, depth: int, max_width: int) -> str:
             + _render(expr.right, depth + 1, max_width) + "\n" + pad + ")"
         )
     raise TypeMismatchError(f"unknown NRC expression {expr!r}")
+
+
+def pretty_formula(formula: Formula, max_width: int = 72, depth: int = 0) -> str:
+    """Render ``formula``; short subformulas stay on a single line.
+
+    ``depth`` is the starting indentation level (used when embedding the
+    formula inside a larger rendering, e.g. a problem block).
+    """
+    return _render_formula(formula, depth, max_width)
+
+
+def _render_formula(formula: Formula, depth: int, max_width: int) -> str:
+    compact = str(formula)
+    if len(compact) + depth * len(_INDENT) <= max_width:
+        return _INDENT * depth + compact
+    pad = _INDENT * depth
+    if isinstance(formula, (And, Or)):
+        op = "&" if isinstance(formula, And) else "|"
+        return (
+            pad + "(\n" + _render_formula(formula.left, depth + 1, max_width) + "\n"
+            + pad + op + "\n"
+            + _render_formula(formula.right, depth + 1, max_width) + "\n" + pad + ")"
+        )
+    if isinstance(formula, (Forall, Exists)):
+        keyword = "all" if isinstance(formula, Forall) else "ex"
+        return (
+            pad + f"({keyword} {formula.var} in {formula.bound}.\n"
+            + _render_formula(formula.body, depth + 1, max_width) + "\n" + pad + ")"
+        )
+    # Atoms (T, F, =, !=, in, notin) have no useful multi-line layout.
+    return pad + compact

@@ -205,6 +205,9 @@ class MetricsRegistry:
         self._collectors: List[Callable[[], object]] = []
         self._lock = threading.Lock()
         self.started_at = time.time()
+        # Monotonic twin of ``started_at``: uptime arithmetic must survive
+        # wall-clock steps (NTP, VM resume), so durations never use time.time.
+        self.started_monotonic = time.monotonic()
 
     # --------------------------------------------------------- registration
     def _get_or_create(self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs):
@@ -374,6 +377,7 @@ class MetricsRegistry:
             self._metrics.clear()
             self._collectors.clear()
             self.started_at = time.time()
+            self.started_monotonic = time.monotonic()
 
 
 _REGISTRY = MetricsRegistry()
@@ -389,3 +393,8 @@ def reset_registry() -> None:
 
 def process_start_time() -> float:
     return _REGISTRY.started_at
+
+
+def process_uptime_seconds() -> float:
+    """Seconds since registry start, immune to wall-clock steps."""
+    return time.monotonic() - _REGISTRY.started_monotonic

@@ -71,6 +71,7 @@ DEFAULT_SHARD_RETRIES = 2
 #: service can surface maps onto exactly one of these codes.
 ERROR_CODES: Dict[str, int] = {
     "invalid_request": 400,  # malformed request (bad field, bad type, bad JSON)
+    "parse_error": 400,  # spec_text did not parse (position info in detail)
     "not_found": 404,  # no such route / resource
     "unknown_problem": 404,  # the registry has no entry with this name
     "unknown_job": 404,  # no job with this id
@@ -167,6 +168,12 @@ def unknown_problem(message: str) -> ApiError:
     return ApiError("unknown_problem", message)
 
 
+def parse_error(message: str, **detail: object) -> ApiError:
+    """A ``spec_text`` that failed to parse; ``detail`` carries the position
+    (``line``/``column``/``offset``) reported by the spec-language parser."""
+    return ApiError("parse_error", message, detail)
+
+
 def unknown_job(job_id: str) -> ApiError:
     return ApiError("unknown_job", f"unknown job {job_id!r}", {"job_id": job_id})
 
@@ -261,18 +268,30 @@ class SynthesizeRequest:
     generator).  ``cache_dir`` overrides the service's persistent cache
     directory for this request.  ``timeout`` bounds asynchronous execution
     (seconds); inline callers ignore it.
+
+    ``spec_text`` submits a textual problem (spec-language syntax, see
+    :mod:`repro.specs.lang`) instead of a registry name: exactly one of
+    ``problem``/``spec_text`` must be given.  A ``spec_text`` that fails to
+    parse surfaces as a ``parse_error`` with position detail.
     """
 
-    problem: str
+    problem: str = ""
     max_depth: Optional[int] = None
     verify_scale: int = 0
     cache_dir: Optional[str] = None
     include_raw: bool = False
     timeout: Optional[float] = None
+    spec_text: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if not isinstance(self.problem, str) or not self.problem:
-            raise invalid_request("problem must be a non-empty registry name")
+        if self.spec_text is None:
+            if not isinstance(self.problem, str) or not self.problem:
+                raise invalid_request("problem must be a non-empty registry name")
+        else:
+            if not isinstance(self.spec_text, str) or not self.spec_text.strip():
+                raise invalid_request("spec_text must be a non-empty problem text")
+            if self.problem:
+                raise invalid_request("pass either problem or spec_text, not both")
         if self.max_depth is not None and self.max_depth < 1:
             raise invalid_request("max_depth must be at least 1")
         if self.verify_scale < 0:
@@ -281,7 +300,9 @@ class SynthesizeRequest:
             raise invalid_request("timeout must be positive")
 
     def to_json_dict(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {"problem": self.problem}
+        payload: Dict[str, object] = {}
+        if self.problem:
+            payload["problem"] = self.problem
         if self.max_depth is not None:
             payload["max_depth"] = self.max_depth
         if self.verify_scale:
@@ -292,6 +313,8 @@ class SynthesizeRequest:
             payload["include_raw"] = self.include_raw
         if self.timeout is not None:
             payload["timeout"] = self.timeout
+        if self.spec_text is not None:
+            payload["spec_text"] = self.spec_text
         return payload
 
     @classmethod
@@ -299,15 +322,24 @@ class SynthesizeRequest:
         _check_fields(
             "SynthesizeRequest",
             payload,
-            {"problem", "max_depth", "verify_scale", "cache_dir", "include_raw", "timeout"},
+            {
+                "problem",
+                "max_depth",
+                "verify_scale",
+                "cache_dir",
+                "include_raw",
+                "timeout",
+                "spec_text",
+            },
         )
         return cls(
-            problem=_field(payload, "problem", str),
+            problem=_field(payload, "problem", str, default=""),
             max_depth=_opt_field(payload, "max_depth", int),
             verify_scale=_field(payload, "verify_scale", int, default=0),
             cache_dir=_opt_field(payload, "cache_dir", str),
             include_raw=_field(payload, "include_raw", bool, default=False),
             timeout=_opt_field(payload, "timeout", float),
+            spec_text=_opt_field(payload, "spec_text", str),
         )
 
     def to_json(self) -> str:

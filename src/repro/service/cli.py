@@ -3,9 +3,13 @@
 Subcommands::
 
     python -m repro list        [--tag T] [--json]
-    python -m repro synthesize  NAME [--max-depth N] [--verify-scale N]
-                                [--cache-dir D] [--raw] [--json]
+    python -m repro synthesize  [NAME] [--spec FILE] [--max-depth N]
+                                [--verify-scale N] [--cache-dir D]
+                                [--raw] [--json]
     python -m repro verify      NAME [--scale N] [--max-depth N] [--json]
+    python -m repro fuzz        [--seed N] [--count N] [--max-depth N]
+                                [--url U] [--artifacts D] [--no-shrink]
+                                [--replay PATH ...] [--json]
     python -m repro sweep       [NAME ...] [--all] [--processes N]
                                 [--timeout S] [--verify-scale N]
                                 [--cache-dir D] [--max-depth N]
@@ -65,6 +69,7 @@ _EXIT_CODES = {
     "unknown_problem": 2,
     "not_found": 2,
     "unknown_job": 2,
+    "parse_error": 2,
 }
 
 
@@ -95,7 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     synth_parser = subparsers.add_parser(
         "synthesize", help="run one problem through the staged pipeline"
     )
-    synth_parser.add_argument("name", help="registry name (see `repro list`)")
+    synth_parser.add_argument(
+        "name", nargs="?", default=None, help="registry name (see `repro list`)"
+    )
+    synth_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="synthesize a textual spec file instead of a registry name ('-' = stdin)",
+    )
     synth_parser.add_argument("--max-depth", type=int, default=None, help="proof-search depth")
     synth_parser.add_argument(
         "--verify-scale",
@@ -118,6 +131,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument("--max-depth", type=int, default=None)
     verify_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="generate seeded Δ0 specs and differential-check every layer"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="stream seed (deterministic)")
+    fuzz_parser.add_argument("--count", type=int, default=100, help="specs to generate")
+    fuzz_parser.add_argument("--max-depth", type=int, default=12, help="proof-search depth")
+    fuzz_parser.add_argument(
+        "--url",
+        default=None,
+        help="also submit each spec to this running `repro serve` and compare results",
+    )
+    fuzz_parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write report.json plus one minimized .spec per failure here",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true", help="report failures unminimized (faster)"
+    )
+    fuzz_parser.add_argument(
+        "--replay",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="replay corpus spec files (or directories of .spec files) instead of generating",
+    )
+    fuzz_parser.add_argument("--json", action="store_true", dest="as_json")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run many problems through the parallel pipeline"
@@ -213,7 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
     client_list.add_argument("--json", action="store_true", dest="as_json")
 
     client_synth = client_sub.add_parser("synthesize", help="POST /v1/synthesize")
-    client_synth.add_argument("name")
+    client_synth.add_argument("name", nargs="?", default=None)
+    client_synth.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="submit a textual spec file instead of a registry name ('-' = stdin)",
+    )
     client_synth.add_argument("--max-depth", type=int, default=None)
     client_synth.add_argument("--verify-scale", type=int, default=0)
     client_synth.add_argument("--timeout", type=float, default=None, help="per-job seconds")
@@ -355,10 +403,23 @@ def _cmd_list(args) -> int:
     return _render_problem_list(service.list_problems(tag=args.tag), args.as_json)
 
 
+def _read_spec_file(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CliError(f"cannot read spec file {path!r}: {exc}") from exc
+
+
 def _cmd_synthesize(args) -> int:
+    if (args.name is None) == (args.spec is None):
+        raise CliError("pass exactly one of NAME or --spec FILE")
     service = SynthesisService()
     request = api.SynthesizeRequest(
-        problem=args.name,
+        problem=args.name or "",
+        spec_text=_read_spec_file(args.spec) if args.spec else None,
         max_depth=args.max_depth,
         verify_scale=args.verify_scale,
         cache_dir=getattr(args, "cache_dir", None),
@@ -375,6 +436,110 @@ def _cmd_verify(args) -> int:
     request = api.VerifyRequest(problem=args.name, scale=args.scale, max_depth=args.max_depth)
     response = service.verify(request)
     return _render_synthesis(response, args.as_json, show_raw=False)
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.specs.fuzz import run_fuzz
+
+    if args.replay:
+        return _fuzz_replay(args)
+
+    def on_event(kind: str, payload) -> None:
+        if kind == "progress":
+            print(f"  …{payload}/{args.count} checked", file=sys.stderr)
+        else:
+            print(
+                f"FAIL [{payload.kind}] {payload.name}: {payload.detail}", file=sys.stderr
+            )
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        max_depth=args.max_depth,
+        url=args.url,
+        shrink=not args.no_shrink,
+        on_event=on_event,
+    )
+    document = {
+        "seed": report.seed,
+        "count": report.count,
+        "checked": report.checked,
+        "synthesized": report.synthesized,
+        "elapsed_seconds": round(report.elapsed_seconds, 3),
+        "failures": [
+            {
+                "kind": failure.kind,
+                "index": failure.index,
+                "name": failure.name,
+                "detail": failure.detail,
+                "minimized": failure.minimized,
+                "spec_text": failure.spec_text,
+            }
+            for failure in report.failures
+        ],
+    }
+    if args.artifacts:
+        _write_fuzz_artifacts(args.artifacts, document, report)
+    if args.as_json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(
+            f"fuzz seed={report.seed}: {report.synthesized}/{report.checked} synthesized "
+            f"clean, {len(report.failures)} failure(s) in {report.elapsed_seconds:.2f}s"
+        )
+        for failure in report.failures:
+            print(f"  [{failure.kind}] {failure.name}: {failure.detail}")
+            print("  minimized spec:" if failure.minimized else "  spec:")
+            for line in failure.spec_text.splitlines():
+                print(f"    {line}")
+    return 0 if report.ok else 1
+
+
+def _fuzz_replay(args) -> int:
+    import pathlib
+
+    from repro.specs.fuzz import replay_spec_text
+
+    paths: List[pathlib.Path] = []
+    for target in args.replay:
+        path = pathlib.Path(target)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.spec")))
+        else:
+            paths.append(path)
+    if not paths:
+        raise CliError("no spec files to replay")
+    failures = []
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CliError(f"cannot read spec file {path}: {exc}") from exc
+        failure = replay_spec_text(text, max_depth=args.max_depth)
+        if failure is None:
+            print(f"ok    {path}")
+        else:
+            print(f"FAIL  {path}  [{failure.kind}] {failure.detail}")
+            failures.append({"path": str(path), "kind": failure.kind, "detail": failure.detail})
+    if args.as_json:
+        print(json.dumps({"replayed": len(paths), "failures": failures}, indent=2))
+    print(f"\n{len(paths) - len(failures)}/{len(paths)} corpus specs replay clean")
+    return 0 if not failures else 1
+
+
+def _write_fuzz_artifacts(directory: str, document: dict, report) -> None:
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "report.json"), "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    for failure in report.failures:
+        spec_path = os.path.join(directory, f"{failure.name}_{failure.kind}.spec")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            handle.write(failure.spec_text)
+            if not failure.spec_text.endswith("\n"):
+                handle.write("\n")
 
 
 def _cmd_sweep(args) -> int:
@@ -556,8 +721,11 @@ def _cmd_client(args) -> int:
         infos = [api.ProblemInfo.from_json_dict(entry) for entry in _http(url)]
         return _render_problem_list(infos, args.as_json)
     if command == "synthesize":
+        if (args.name is None) == (args.spec is None):
+            raise CliError("pass exactly one of NAME or --spec FILE")
         request = api.SynthesizeRequest(
-            problem=args.name,
+            problem=args.name or "",
+            spec_text=_read_spec_file(args.spec) if args.spec else None,
             max_depth=args.max_depth,
             verify_scale=args.verify_scale,
             timeout=args.timeout,
@@ -610,6 +778,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "synthesize": _cmd_synthesize,
     "verify": _cmd_verify,
+    "fuzz": _cmd_fuzz,
     "sweep": _cmd_sweep,
     "cache-stats": _cmd_cache_stats,
     "serve": _cmd_serve,

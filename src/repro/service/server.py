@@ -74,6 +74,7 @@ import asyncio
 import base64
 import itertools
 import json
+import logging
 import os
 import socket
 import threading
@@ -87,7 +88,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.interning import intern_cache_stats
 from repro.nr.columns import shared_interner_metric_samples
-from repro.obs.metrics import get_registry, process_start_time
+from repro.obs.metrics import get_registry, process_uptime_seconds
 from repro.obs.trace import TRACE_HEADER, TraceContext, get_tracer
 from repro.proofs.search import last_tables_stats
 from repro.service import api
@@ -97,10 +98,13 @@ from repro.service.manifest import CacheManifest
 from repro.service.registry import ProblemRegistry, RegistryEntry, default_registry
 from repro.service.workers import (
     execute_synthesize_request,
+    resolve_request_entry,
     resolve_sweep_names,
     run_request_in_process,
     run_sweep,
 )
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8075
@@ -117,15 +121,27 @@ class _Job:
     id: str
     request: api.SynthesizeRequest
     state: str
+    #: Wall-clock timestamps — *display only* (they go out on the wire).
+    #: All ordering/duration arithmetic uses the ``*_mono`` fields so a
+    #: wall-clock jump (NTP step, VM resume) cannot reorder or misage jobs.
     submitted_at: float
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    submitted_mono: float = 0.0
+    finished_mono: Optional[float] = None
+    #: The resolved registry entry (a synthetic one for ``spec_text`` jobs,
+    #: whose requests carry no registry name).
+    entry: Optional[RegistryEntry] = None
     result: Optional[api.SynthesisResult] = None
     error: Optional[api.ErrorInfo] = None
     task: Optional[asyncio.Task] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: Optional[asyncio.Event] = None
     trace_id: Optional[str] = None
+
+    @property
+    def problem_name(self) -> str:
+        return self.entry.name if self.entry is not None else self.request.problem
 
     @property
     def active(self) -> bool:
@@ -142,6 +158,8 @@ class _SweepJob:
     submitted_at: float
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    submitted_mono: float = 0.0
+    finished_mono: Optional[float] = None
     shards: Tuple[api.ShardInfo, ...] = ()
     result: Optional[api.SweepResponse] = None
     error: Optional[api.ErrorInfo] = None
@@ -335,7 +353,7 @@ class SynthesisService:
         return {
             "status": "ok",
             "version": api.API_VERSION,
-            "uptime_seconds": time.time() - process_start_time(),
+            "uptime_seconds": process_uptime_seconds(),
             "requests_total": registry.counter_total("repro_http_requests_total"),
             "errors_total": registry.counter_total("repro_http_errors_total"),
             "problems": len(self.registry),
@@ -360,7 +378,7 @@ class SynthesisService:
         return api.JobStatus(
             id=job.id,
             state=job.state,
-            problem=job.request.problem,
+            problem=job.problem_name,
             submitted_at=job.submitted_at,
             started_at=job.started_at,
             finished_at=job.finished_at,
@@ -378,7 +396,9 @@ class SynthesisService:
         finished = [job for job in self._jobs.values() if not job.active]
         if len(finished) <= FINISHED_JOB_RETENTION:
             return
-        finished.sort(key=lambda job: job.finished_at or job.submitted_at)
+        # Monotonic ordering: a backwards wall-clock step must not make a
+        # fresh result the eviction victim while stale ones linger.
+        finished.sort(key=lambda job: job.finished_mono or job.submitted_mono)
         for job in finished[: len(finished) - FINISHED_JOB_RETENTION]:
             del self._jobs[job.id]
 
@@ -412,10 +432,16 @@ class SynthesisService:
         return response
 
     async def submit(self, request: api.SynthesizeRequest) -> api.JobStatus:
-        """Enqueue a job — or answer it inline when the cache is warm."""
-        entry = self._entry(request.problem)
+        """Enqueue a job — or answer it inline when the cache is warm.
+
+        ``spec_text`` submissions resolve to a synthetic registry entry here
+        (parse errors surface as the structured ``parse_error`` before
+        anything is enqueued); registry submissions resolve by name.
+        """
+        entry = resolve_request_entry(request, self.registry)
         job_id = f"job-{next(self._ids):06d}"
         now = time.time()
+        mono = time.monotonic()
         context = get_tracer().current()
         trace_id = context.trace_id if context is not None else None
         warm = self._warm_response(request, entry)
@@ -428,6 +454,9 @@ class SynthesisService:
                 submitted_at=now,
                 started_at=now,
                 finished_at=time.time(),
+                submitted_mono=mono,
+                finished_mono=time.monotonic(),
+                entry=entry,
                 result=warm,
                 trace_id=trace_id,
             )
@@ -441,6 +470,8 @@ class SynthesisService:
             request=request,
             state=api.JOB_QUEUED,
             submitted_at=now,
+            submitted_mono=mono,
+            entry=entry,
             done_event=asyncio.Event(),
             trace_id=trace_id,
         )
@@ -465,7 +496,7 @@ class SynthesisService:
                 # The span closes (and is recorded) before this coroutine
                 # yields after ``_finish``, so ``wait``-ers that resume on the
                 # done event always see the complete job span.
-                with tracer.span("job", job_id=job.id, problem=job.request.problem) as job_span:
+                with tracer.span("job", job_id=job.id, problem=job.problem_name) as job_span:
                     if job_span.context is not None:
                         job.trace_id = job_span.context.trace_id
                     runner = partial(
@@ -502,16 +533,25 @@ class SynthesisService:
         if result is None:
             return
         try:
-            problem = self.registry.get(job.request.problem).problem()
-            self.cache.store_memory(problem, result)
-        except Exception:  # noqa: BLE001 - cache warming is best-effort
-            pass
+            entry = job.entry if job.entry is not None else self.registry.get(job.request.problem)
+            self.cache.store_memory(entry.problem(), result)
+        except Exception as exc:  # noqa: BLE001 - cache warming is best-effort
+            # Best-effort, but not silent: the next identical submission pays
+            # a cold search, so leave a trail for whoever wonders why.
+            logger.debug(
+                "cache warm failed for job %s (%s): %s", job.id, job.problem_name, exc
+            )
+            get_registry().counter(
+                "repro_cache_warm_failures_total",
+                "Worker results that failed to warm the parent memory tier",
+            ).inc()
 
     def _finish(self, job: _Job, state: str, result=None, error=None) -> None:
         job.state = state
         job.result = result
         job.error = error
         job.finished_at = time.time()
+        job.finished_mono = time.monotonic()
         if job.done_event is not None:
             job.done_event.set()
 
@@ -564,7 +604,7 @@ class SynthesisService:
         finished = [job for job in self._sweep_jobs.values() if not job.active]
         if len(finished) <= FINISHED_JOB_RETENTION:
             return
-        finished.sort(key=lambda job: job.finished_at or job.submitted_at)
+        finished.sort(key=lambda job: job.finished_mono or job.submitted_mono)
         for job in finished[: len(finished) - FINISHED_JOB_RETENTION]:
             del self._sweep_jobs[job.id]
 
@@ -603,6 +643,7 @@ class SynthesisService:
             request=request,
             state=api.JOB_QUEUED,
             submitted_at=time.time(),
+            submitted_mono=time.monotonic(),
             done_event=asyncio.Event(),
             trace_id=context.trace_id if context is not None else None,
         )
@@ -669,6 +710,7 @@ class SynthesisService:
         job.result = result
         job.error = error
         job.finished_at = time.time()
+        job.finished_mono = time.monotonic()
         if job.done_event is not None:
             job.done_event.set()
 

@@ -130,6 +130,36 @@ class SweepSummary:
 
 
 # ----------------------------------------------------- typed request execution
+def resolve_request_entry(
+    request: api.SynthesizeRequest, registry: Optional[ProblemRegistry] = None
+) -> RegistryEntry:
+    """The registry entry a request addresses.
+
+    A ``spec_text`` request parses the textual problem into an ad-hoc entry
+    (named after the problem header, tagged ``spec_text``); a parse failure
+    surfaces as the ``parse_error`` taxonomy code with position detail.
+    Registry-name requests resolve as before (``unknown_problem`` on a miss).
+    """
+    if request.spec_text is not None:
+        from repro.specs.lang import SpecParseError, parse_problem
+
+        try:
+            problem = parse_problem(request.spec_text)
+        except SpecParseError as exc:
+            raise api.parse_error(str(exc), **exc.position()) from exc
+        return RegistryEntry(
+            name=problem.name,
+            factory=lambda: problem,
+            description="textual spec submission",
+            tags=("spec_text",),
+        )
+    registry = registry or default_registry()
+    try:
+        return registry.get(request.problem)
+    except KeyError as exc:
+        raise api.unknown_problem(exc.args[0]) from exc
+
+
 def execute_synthesize_request(
     request: api.SynthesizeRequest,
     registry: Optional[ProblemRegistry] = None,
@@ -147,10 +177,7 @@ def execute_synthesize_request(
     serialize the outcome and adopt the synthesized AST into their own cache.
     """
     registry = registry or default_registry()
-    try:
-        entry = registry.get(request.problem)
-    except KeyError as exc:
-        raise api.unknown_problem(exc.args[0]) from exc
+    entry = resolve_request_entry(request, registry)
     if request.cache_dir:
         try:
             cache = SynthesisCache(disk_dir=request.cache_dir)
@@ -194,7 +221,9 @@ def _request_child(payload: Dict[str, object], options: Dict[str, object], conn)
         # ("cache-lookup: miss" included) as an inline run.
         cache_dir = options.get("cache_dir")
         cache = SynthesisCache(disk_dir=cache_dir) if cache_dir else SynthesisCache()
-        with get_tracer().span("worker.request", problem=request.problem, pid=os.getpid()):
+        with get_tracer().span(
+            "worker.request", problem=request.problem or "<spec_text>", pid=os.getpid()
+        ):
             response, result, _ = execute_synthesize_request(request, cache=cache)
         message: tuple = ("ok", response.to_json_dict(), result)
     except api.ApiError as exc:

@@ -201,11 +201,24 @@ def _consumer_implicitly_defines(batched):
     return problem.check_implicitly_defines(assignments, batched=batched)
 
 
+def _consumer_parsed_spec_text(batched):
+    # The spec-language path: the problem is printed to text and re-parsed
+    # before checking, so a printer/parser divergence shows up as a
+    # conformance failure here, not just in the fuzzer.
+    from repro.specs.lang import parse_problem, pretty_problem
+
+    problem, _expression, assignments = _union_view_case()
+    reparsed = parse_problem(pretty_problem(problem))
+    assert reparsed == problem
+    return reparsed.check_implicitly_defines(assignments, batched=batched)
+
+
 #: Every consumer with a per-environment oracle: name -> callable(batched).
 BATCH_CONSUMERS = {
     "check_explicit_definition": _consumer_explicit_definition,
     "check_explicit_definition_mismatches": _consumer_explicit_definition_mismatches,
     "check_implicitly_defines": _consumer_implicitly_defines,
+    "parsed_spec_text_implicitly_defines": _consumer_parsed_spec_text,
 }
 
 #: The full (evaluator, consumer) conformance matrix: every batch evaluator

@@ -221,3 +221,64 @@ def test_client_unreachable_server_is_a_clean_error(capsys):
     )
     assert code == 1
     assert "cannot reach" in err
+
+
+# ---------------------------------------------------------- spec_text + fuzz
+def test_synthesize_spec_file(capsys, tmp_path):
+    from repro.service.registry import default_registry
+    from repro.specs.lang import pretty_problem
+
+    spec_path = tmp_path / "union.spec"
+    spec_path.write_text(pretty_problem(default_registry().get("union_view").problem()))
+    code, out, _ = run_cli(capsys, "synthesize", "--spec", str(spec_path), "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["problem"] == "union_view"
+    assert payload["expression"].startswith("U{")
+
+
+def test_synthesize_requires_exactly_one_source(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "synthesize")
+    assert code == 2 and "exactly one" in err
+    spec_path = tmp_path / "x.spec"
+    spec_path.write_text("problem p { output O : Set(Ur); spec T }")
+    code, _, err = run_cli(capsys, "synthesize", "union_view", "--spec", str(spec_path))
+    assert code == 2 and "exactly one" in err
+
+
+def test_synthesize_spec_parse_error_exits_2(capsys, tmp_path):
+    spec_path = tmp_path / "broken.spec"
+    spec_path.write_text("problem broken {")
+    code, _, err = run_cli(capsys, "synthesize", "--spec", str(spec_path))
+    assert code == 2
+    assert "line 1" in err
+
+
+def test_fuzz_smoke_and_artifacts(capsys, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    code, out, _ = run_cli(
+        capsys, "fuzz", "--seed", "0", "--count", "10", "--artifacts", str(artifacts), "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["checked"] == 10 and payload["synthesized"] == 10
+    assert payload["failures"] == []
+    report = json.loads((artifacts / "report.json").read_text())
+    assert report["seed"] == 0 and report["checked"] == 10
+
+
+def test_fuzz_replay_corpus(capsys):
+    import os
+
+    corpus = os.path.join(os.path.dirname(__file__), "corpus")
+    code, out, _ = run_cli(capsys, "fuzz", "--replay", corpus)
+    assert code == 0
+    assert "corpus specs replay clean" in out
+
+
+def test_fuzz_replay_reports_a_broken_spec(capsys, tmp_path):
+    bad = tmp_path / "bad.spec"
+    bad.write_text("problem broken {")
+    code, out, _ = run_cli(capsys, "fuzz", "--replay", str(bad))
+    assert code == 1
+    assert "FAIL" in out

@@ -547,3 +547,110 @@ def test_sweep_against_unreachable_nodes_fails_with_node_unavailable():
         assert final.shards and final.shards[0].state == "failed"
 
     asyncio.run(scenario())
+
+
+# ----------------------------------------------------- spec_text submissions
+def test_spec_text_submission_over_http(server):
+    from repro.service.registry import default_registry
+    from repro.specs.lang import pretty_problem
+
+    problem = default_registry().get("union_view").problem()
+    status, by_text = http_post(
+        server.url + "/v1/synthesize?wait=1", {"spec_text": pretty_problem(problem)}
+    )
+    assert status == 200
+    assert by_text["state"] == "done"
+    assert by_text["problem"] == "union_view"
+    _, by_name = http_post(server.url + "/v1/synthesize?wait=1", {"problem": "union_view"})
+    assert by_text["result"]["expression"] == by_name["result"]["expression"]
+
+
+def test_spec_text_parse_error_over_http(server):
+    code, body = http_error(
+        http_post, server.url + "/v1/synthesize", {"spec_text": "problem broken {"}
+    )
+    assert code == 400
+    assert body["error"]["code"] == "parse_error"
+    assert set(body["error"]["detail"]) == {"line", "column", "offset"}
+
+
+def test_spec_text_job_snapshot_carries_the_parsed_name():
+    from repro.service.registry import default_registry
+    from repro.specs.lang import pretty_problem
+
+    async def scenario():
+        service = SynthesisService()
+        text = pretty_problem(default_registry().get("identity_view").problem())
+        status = await service.submit(api.SynthesizeRequest(spec_text=text))
+        final = await service.wait(status.id)
+        assert final.problem == "identity_view"
+        assert final.state == api.JOB_DONE
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------- clock robustness
+def test_job_pruning_survives_wall_clock_jumps(monkeypatch):
+    from repro.service import server as server_mod
+
+    monkeypatch.setattr(server_mod, "FINISHED_JOB_RETENTION", 2)
+    service = SynthesisService()
+    request = api.SynthesizeRequest(problem="union_view")
+    # Wall clock steps *backwards* across these jobs (NTP correction mid-run);
+    # the monotonic fields record the true completion order.
+    for index in range(5):
+        job = server_mod._Job(
+            id=f"job-{index}",
+            request=request,
+            state=api.JOB_DONE,
+            submitted_at=1000.0 - index,
+            finished_at=1000.0 - index,
+            submitted_mono=float(index),
+            finished_mono=float(index),
+        )
+        service._jobs[job.id] = job
+    service._prune_finished()
+    # The two *most recently finished* jobs survive, not the two the jumped
+    # wall clock claims are newest (those are job-0/job-1).
+    assert set(service._jobs) == {"job-3", "job-4"}
+
+
+def test_uptime_is_immune_to_wall_clock_steps(monkeypatch):
+    import time as time_module
+
+    from repro.obs.metrics import process_uptime_seconds
+
+    before = process_uptime_seconds()
+    monkeypatch.setattr(time_module, "time", lambda: 0.0)  # step to the epoch
+    after = process_uptime_seconds()
+    assert 0.0 <= before <= after
+    service = SynthesisService()
+    assert service.health()["uptime_seconds"] >= 0.0
+
+
+# ------------------------------------------------------- cache-warm failures
+def test_cache_warm_failures_are_logged_and_counted(caplog):
+    import logging
+
+    from repro.obs.metrics import get_registry
+    from repro.service import server as server_mod
+    from repro.service.registry import RegistryEntry
+
+    def boom():
+        raise RuntimeError("factory exploded")
+
+    service = SynthesisService()
+    entry = RegistryEntry(name="boom", factory=boom, description="test entry")
+    job = server_mod._Job(
+        id="job-boom",
+        request=api.SynthesizeRequest(spec_text="problem boom { output O : Set(Ur); spec T }"),
+        state=api.JOB_DONE,
+        submitted_at=0.0,
+        entry=entry,
+    )
+    before = get_registry().counter_total("repro_cache_warm_failures_total")
+    with caplog.at_level(logging.DEBUG, logger="repro.service.server"):
+        service._adopt_result(job, object())
+    assert get_registry().counter_total("repro_cache_warm_failures_total") == before + 1
+    assert any("cache warm failed" in record.message for record in caplog.records)
+    assert "repro_cache_warm_failures_total" in get_registry().render_prometheus()

@@ -273,6 +273,11 @@ class SynthesizeRequest:
     :mod:`repro.specs.lang`) instead of a registry name: exactly one of
     ``problem``/``spec_text`` must be given.  A ``spec_text`` that fails to
     parse surfaces as a ``parse_error`` with position detail.
+
+    ``ancestor`` is the witness digest of a previously synthesized spec this
+    one was edited from: the pipeline seeds its proof search from the stored
+    ancestor witness (incremental resynthesis) when the digest resolves, and
+    silently falls back to a cold search when it does not.
     """
 
     problem: str = ""
@@ -282,6 +287,7 @@ class SynthesizeRequest:
     include_raw: bool = False
     timeout: Optional[float] = None
     spec_text: Optional[str] = None
+    ancestor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.spec_text is None:
@@ -298,6 +304,10 @@ class SynthesizeRequest:
             raise invalid_request("verify_scale must be non-negative")
         if self.timeout is not None and self.timeout <= 0:
             raise invalid_request("timeout must be positive")
+        if self.ancestor is not None and (
+            not isinstance(self.ancestor, str) or not self.ancestor
+        ):
+            raise invalid_request("ancestor must be a non-empty witness digest")
 
     def to_json_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {}
@@ -315,6 +325,8 @@ class SynthesizeRequest:
             payload["timeout"] = self.timeout
         if self.spec_text is not None:
             payload["spec_text"] = self.spec_text
+        if self.ancestor is not None:
+            payload["ancestor"] = self.ancestor
         return payload
 
     @classmethod
@@ -330,6 +342,7 @@ class SynthesizeRequest:
                 "include_raw",
                 "timeout",
                 "spec_text",
+                "ancestor",
             },
         )
         return cls(
@@ -340,6 +353,7 @@ class SynthesizeRequest:
             include_raw=_field(payload, "include_raw", bool, default=False),
             timeout=_opt_field(payload, "timeout", float),
             spec_text=_opt_field(payload, "spec_text", str),
+            ancestor=_opt_field(payload, "ancestor", str),
         )
 
     def to_json(self) -> str:
@@ -697,6 +711,11 @@ class SynthesisResult:
     ``display`` carries transport-local conveniences (the pretty-printed
     definition for terminal rendering); it is excluded from serialization and
     from equality, so round-tripping through JSON preserves ``==``.
+
+    ``source`` is the synthesis provenance on a cache miss — ``"witness"``
+    (a stored proof replayed verbatim), ``"incremental"`` (proof search
+    seeded from an ancestor witness) or ``"cold"`` — and ``None`` on cache
+    hits, where no synthesis ran at all.
     """
 
     problem: str
@@ -709,6 +728,7 @@ class SynthesisResult:
     proof_size: Optional[int] = None
     raw_expression: Optional[str] = None
     verification: Optional[VerificationSummary] = None
+    source: Optional[str] = None
     display: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -736,6 +756,8 @@ class SynthesisResult:
             payload["raw_expression"] = self.raw_expression
         if self.verification is not None:
             payload["verification"] = self.verification.to_json_dict()
+        if self.source is not None:
+            payload["source"] = self.source
         return payload
 
     @classmethod
@@ -755,6 +777,7 @@ class SynthesisResult:
                 "proof_size",
                 "raw_expression",
                 "verification",
+                "source",
             },
         )
         verification = payload.get("verification")
@@ -776,6 +799,7 @@ class SynthesisResult:
                 if verification is not None
                 else None
             ),
+            source=_opt_field(payload, "source", str),
         )
 
     def to_json(self) -> str:
@@ -1428,12 +1452,16 @@ class ProcessCacheStats:
     #: The serving process's two-tier result-cache counters
     #: (:class:`repro.service.cache.CacheStats`).
     result_cache: Mapping[str, object] = field(default_factory=dict)
+    #: The witness tier's counters (:class:`repro.witness.store.
+    #: WitnessStoreStats`); empty when the cache has no disk directory.
+    witness_store: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "intern_table", dict(self.intern_table))
         object.__setattr__(self, "shared_value_interner", dict(self.shared_value_interner))
         object.__setattr__(self, "search_tables", dict(self.search_tables))
         object.__setattr__(self, "result_cache", dict(self.result_cache))
+        object.__setattr__(self, "witness_store", dict(self.witness_store))
 
     def to_json_dict(self) -> Dict[str, object]:
         return {
@@ -1442,6 +1470,7 @@ class ProcessCacheStats:
                 "shared_value_interner": dict(self.shared_value_interner),
                 "search_tables": dict(self.search_tables),
                 "result_cache": dict(self.result_cache),
+                "witness_store": dict(self.witness_store),
             }
         }
 
@@ -1452,13 +1481,20 @@ class ProcessCacheStats:
         _check_fields(
             "ProcessCacheStats.process",
             process,
-            {"intern_table", "shared_value_interner", "search_tables", "result_cache"},
+            {
+                "intern_table",
+                "shared_value_interner",
+                "search_tables",
+                "result_cache",
+                "witness_store",
+            },
         )
         return cls(
             intern_table=_field(process, "intern_table", dict, default={}),
             shared_value_interner=_field(process, "shared_value_interner", dict, default={}),
             search_tables=_field(process, "search_tables", dict, default={}),
             result_cache=_field(process, "result_cache", dict, default={}),
+            witness_store=_field(process, "witness_store", dict, default={}),
         )
 
     def to_json(self) -> str:
@@ -1466,6 +1502,119 @@ class ProcessCacheStats:
 
     @classmethod
     def from_json(cls, text: str) -> "ProcessCacheStats":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class WitnessInfo:
+    """One stored proof witness's metadata (``GET /v1/witnesses``)."""
+
+    digest: str
+    name: str = ""
+    proof_size: int = 0
+    created: float = 0.0
+    payload_bytes: int = 0
+    sequent: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.digest, str) or not self.digest:
+            raise invalid_request("witness digest must be a non-empty string")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "digest": self.digest,
+            "name": self.name,
+            "proof_size": self.proof_size,
+            "created": self.created,
+            "payload_bytes": self.payload_bytes,
+        }
+        if self.sequent:
+            payload["sequent"] = self.sequent
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "WitnessInfo":
+        _check_fields(
+            "WitnessInfo",
+            payload,
+            {"digest", "name", "proof_size", "created", "payload_bytes", "sequent"},
+        )
+        return cls(
+            digest=_field(payload, "digest", str),
+            name=_field(payload, "name", str, default=""),
+            proof_size=_field(payload, "proof_size", int, default=0),
+            created=_field(payload, "created", float, default=0.0),
+            payload_bytes=_field(payload, "payload_bytes", int, default=0),
+            sequent=_field(payload, "sequent", str, default=""),
+        )
+
+
+@dataclass(frozen=True)
+class WitnessPage:
+    """The witness-store inventory (``GET /v1/witnesses``), newest first."""
+
+    witnesses: Tuple[WitnessInfo, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "witnesses", tuple(self.witnesses))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {"witnesses": [info.to_json_dict() for info in self.witnesses]}
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "WitnessPage":
+        _check_fields("WitnessPage", payload, {"witnesses"})
+        return cls(
+            witnesses=tuple(
+                WitnessInfo.from_json_dict(info)
+                for info in _field(payload, "witnesses", list, default=[])
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WitnessPage":
+        return cls.from_json_dict(_parse_json_object(text))
+
+
+@dataclass(frozen=True)
+class WitnessPayload:
+    """One witness with its portable payload, base64-encoded.
+
+    The body of ``GET /v1/witnesses/<digest>`` and of ``PUT /v1/witnesses``
+    (the import direction, where ``info`` may be elided — the receiving store
+    re-derives every metadatum by re-checking the proof).
+    """
+
+    payload: str
+    info: Optional[WitnessInfo] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, str) or not self.payload:
+            raise invalid_request("witness payload must be a non-empty base64 string")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"payload": self.payload}
+        if self.info is not None:
+            body["info"] = self.info.to_json_dict()
+        return body
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "WitnessPayload":
+        _check_fields("WitnessPayload", payload, {"payload", "info"})
+        info = payload.get("info")
+        return cls(
+            payload=_field(payload, "payload", str),
+            info=WitnessInfo.from_json_dict(info) if info is not None else None,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WitnessPayload":
         return cls.from_json_dict(_parse_json_object(text))
 
 
@@ -1503,4 +1652,7 @@ CONTRACT_TYPES = (
     CacheEntryInfo,
     DiskCacheStats,
     ProcessCacheStats,
+    WitnessInfo,
+    WitnessPage,
+    WitnessPayload,
 )

@@ -51,6 +51,7 @@ from repro.obs.trace import get_tracer
 from repro.service.manifest import MANIFEST_NAME, CacheManifest
 from repro.specs.problems import ImplicitDefinitionProblem
 from repro.synthesis.implicit_to_explicit import SynthesisResult
+from repro.witness.store import WITNESS_SUBDIR, WitnessStore
 
 #: Default bound on the in-memory tier (entries, not bytes: synthesized
 #: expressions are small compared to the proof trees they carry).
@@ -63,6 +64,9 @@ DEFAULT_INTERNER_ID_BOUND = 1_000_000
 #: Defaults for the disk tier's cost-aware eviction (entries / payload bytes).
 DEFAULT_DISK_ENTRY_BOUND = 1024
 DEFAULT_DISK_PAYLOAD_BOUND = 256 * 1024 * 1024
+
+#: Default bound on persisted compiled programs (``programs/*.pkl``).
+DEFAULT_PROGRAM_ENTRY_BOUND = 1024
 
 
 @dataclass(frozen=True)
@@ -119,6 +123,7 @@ class CacheStats:
     program_misses: int = 0
     program_stores: int = 0
     program_mismatches: int = 0
+    program_evictions: int = 0
     intern_table_clears: int = 0
     interner_rotations: int = 0
     manifest_skew_drops: int = 0
@@ -172,6 +177,7 @@ class SynthesisCache:
         interner_id_bound: int = DEFAULT_INTERNER_ID_BOUND,
         disk_entry_bound: Optional[int] = DEFAULT_DISK_ENTRY_BOUND,
         disk_payload_bound: Optional[int] = DEFAULT_DISK_PAYLOAD_BOUND,
+        program_entry_bound: Optional[int] = DEFAULT_PROGRAM_ENTRY_BOUND,
         node_id: str = "",
     ) -> None:
         if capacity < 1:
@@ -182,6 +188,7 @@ class SynthesisCache:
         self.interner_id_bound = interner_id_bound
         self.disk_entry_bound = disk_entry_bound
         self.disk_payload_bound = disk_payload_bound
+        self.program_entry_bound = program_entry_bound
         self.node_id = node_id
         self.stats = CacheStats()
         self._lru: "OrderedDict[SpecKey, SynthesisResult]" = OrderedDict()
@@ -189,12 +196,16 @@ class SynthesisCache:
         self.manifest: Optional[CacheManifest] = None
         self._manifest_generation = 0
         self._manifest_stamp: Optional[Tuple[int, int]] = None
+        self.witnesses: Optional[WitnessStore] = None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_stale_tmp_files()
             self.manifest = CacheManifest(self.disk_dir)
             self._manifest_generation = self.manifest.generation()
             self._manifest_stamp = self.manifest.stamp()
+            self.witnesses = WitnessStore(
+                self.disk_dir / WITNESS_SUBDIR, node_id=node_id, manifest=self.manifest
+            )
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -357,6 +368,7 @@ class SynthesisCache:
         blob = pickle.dumps(export_program(program), protocol=pickle.HIGHEST_PROTOCOL)
         _atomic_write_bytes(path, blob)
         self.stats.program_stores += 1
+        self._disk_dirty = True
         return True
 
     def load_program(self, phi: Formula) -> Optional[FormulaProgram]:
@@ -426,6 +438,9 @@ class SynthesisCache:
         if self._disk_dirty:
             self._disk_dirty = False
             self._evict_cheapest_disk_entries()
+            self._evict_oldest_programs()
+        if self.witnesses is not None:
+            self.witnesses.maintain()
 
     def _evict_cheapest_disk_entries(self) -> None:
         """Bound the disk tier, evicting cheapest-to-recompute entries first.
@@ -457,13 +472,51 @@ class SynthesisCache:
             count -= 1
             total_bytes -= victim.payload_bytes
             evicted += 1
-        if evicted and self.manifest is not None:
+        if evicted:
             # Peers may hold memory-tier copies of the evicted entries; bump
             # the generation so their next lookup drops and re-warms.
-            state = self.manifest.bump(self.node_id)
-            self._manifest_generation = state.generation
-            self._manifest_stamp = self.manifest.stamp()
-            self.stats.manifest_bumps += 1
+            self._announce_evictions()
+
+    def _evict_oldest_programs(self) -> None:
+        """Bound ``programs/``, oldest payloads first, announcing via manifest.
+
+        Program payloads have no sidecar (cost metadata lives with the result
+        tier), so the policy is plain FIFO by mtime.  Evictions are announced
+        through the shared manifest exactly like result evictions — peer nodes
+        may hold the dropped programs' rows in warm memo structures, and must
+        observe the bump to re-derive rather than trust a stale memo.
+        """
+        if self.disk_dir is None or not self.program_entry_bound:
+            return
+        program_dir = self.disk_dir / self.PROGRAM_SUBDIR
+        payloads = []
+        for path in program_dir.glob("*.pkl"):
+            try:
+                payloads.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        excess = len(payloads) - self.program_entry_bound
+        if excess <= 0:
+            return
+        evicted = 0
+        for _, path in sorted(payloads)[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.program_evictions += 1
+            evicted += 1
+        if evicted:
+            self._announce_evictions()
+
+    def _announce_evictions(self) -> None:
+        """Bump the shared manifest so peers drop memory copies of evictees."""
+        if self.manifest is None:
+            return
+        state = self.manifest.bump(self.node_id)
+        self._manifest_generation = state.generation
+        self._manifest_stamp = self.manifest.stamp()
+        self.stats.manifest_bumps += 1
 
     # ------------------------------------------------------------- disk tier
     #: A worker SIGTERMed mid-write (the sweep's per-job timeout) can leave a
@@ -472,8 +525,10 @@ class SynthesisCache:
 
     def _sweep_stale_tmp_files(self) -> None:
         cutoff = time.time() - self.STALE_TMP_SECONDS
-        for tmp in list(self.disk_dir.glob("*.tmp")) + list(
-            self.disk_dir.glob(f"{self.PROGRAM_SUBDIR}/*.tmp")
+        for tmp in (
+            list(self.disk_dir.glob("*.tmp"))
+            + list(self.disk_dir.glob(f"{self.PROGRAM_SUBDIR}/*.tmp"))
+            + list(self.disk_dir.glob(f"{WITNESS_SUBDIR}/*.tmp"))
         ):
             try:
                 if tmp.stat().st_mtime < cutoff:

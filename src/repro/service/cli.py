@@ -5,17 +5,19 @@ Subcommands::
     python -m repro list        [--tag T] [--json]
     python -m repro synthesize  [NAME] [--spec FILE] [--max-depth N]
                                 [--verify-scale N] [--cache-dir D]
-                                [--raw] [--json]
+                                [--ancestor DIGEST] [--raw] [--json]
     python -m repro verify      NAME [--scale N] [--max-depth N] [--json]
     python -m repro fuzz        [--seed N] [--count N] [--max-depth N]
-                                [--url U] [--artifacts D] [--no-shrink]
-                                [--replay PATH ...] [--json]
+                                [--mutate] [--url U] [--artifacts D]
+                                [--no-shrink] [--replay PATH ...] [--json]
     python -m repro sweep       [NAME ...] [--all] [--processes N]
                                 [--timeout S] [--verify-scale N]
                                 [--cache-dir D] [--max-depth N]
                                 [--url U] [--node U ...] [--shard-size N]
                                 [--max-retries N] [--json]
     python -m repro cache-stats [--cache-dir D] [--json]
+    python -m repro witness     list|show|import|export|handwritten ...
+                                [--cache-dir D | --url U] [--json]
     python -m repro serve       [--host H] [--port P] [--cache-dir D]
                                 [--max-workers N] [--queue-limit N]
                                 [--job-timeout S] [--node-id ID]
@@ -118,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synth_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
     synth_parser.add_argument(
+        "--ancestor",
+        default=None,
+        metavar="DIGEST",
+        help="witness digest of the spec this one was edited from "
+        "(incremental resynthesis; needs --cache-dir)",
+    )
+    synth_parser.add_argument(
         "--raw", action="store_true", help="print the unsimplified definition too"
     )
     synth_parser.add_argument("--json", action="store_true", dest="as_json")
@@ -151,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.add_argument(
         "--no-shrink", action="store_true", help="report failures unminimized (faster)"
+    )
+    fuzz_parser.add_argument(
+        "--mutate",
+        action="store_true",
+        help="edit-mode: mutate each spec in one subtree and differentially "
+        "check incremental resynthesis against a cold run",
     )
     fuzz_parser.add_argument(
         "--replay",
@@ -211,6 +226,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_parser.add_argument("--cache-dir", default=None, help="persistent cache directory")
     stats_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    witness_parser = subparsers.add_parser(
+        "witness", help="inspect and exchange stored proof witnesses"
+    )
+    witness_sub = witness_parser.add_subparsers(dest="witness_command", required=True)
+
+    def _witness_common(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir", default=None, help="cache directory holding the witnesses/ tier"
+        )
+        sub_parser.add_argument(
+            "--url", default=None, help="talk to a running `repro serve` instead of a directory"
+        )
+        sub_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    w_list = witness_sub.add_parser("list", help="inventory of stored witnesses (newest first)")
+    w_list.add_argument("--limit", type=int, default=None, help="show at most this many")
+    _witness_common(w_list)
+
+    w_show = witness_sub.add_parser("show", help="one stored witness's metadata")
+    w_show.add_argument("digest")
+    _witness_common(w_show)
+
+    w_export = witness_sub.add_parser("export", help="write a witness payload to a file")
+    w_export.add_argument("digest")
+    w_export.add_argument(
+        "--output", "-o", default=None, metavar="FILE", help="default: <digest>.witness"
+    )
+    _witness_common(w_export)
+
+    w_import = witness_sub.add_parser(
+        "import", help="validate and adopt exported witness payload files"
+    )
+    w_import.add_argument("paths", nargs="+", metavar="FILE")
+    _witness_common(w_import)
+
+    w_hand = witness_sub.add_parser(
+        "handwritten",
+        help="install the hand-written hard-entry witnesses (Examples 1.1/4.1) "
+        "and replay them through checker → interpolation → verification",
+    )
+    w_hand.add_argument(
+        "--scale", type=int, default=2, help="instance-family scale for replay verification"
+    )
+    _witness_common(w_hand)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the asyncio HTTP front-end over the synthesis service"
@@ -321,10 +381,10 @@ def _render_synthesis(response: api.SynthesisResult, as_json: bool, show_raw: bo
             if stage.detail:
                 extra = "  " + ", ".join(f"{k}={v}" for k, v in stage.detail.items())
             print(f"  {stage.name:<15} {stage.seconds * 1000:9.2f} ms{extra}")
-        print(
-            f"  total           {response.total_seconds * 1000:9.2f} ms  "
-            f"(cache: {response.cache_tier})"
-        )
+        cache_note = f"cache: {response.cache_tier}"
+        if response.source:
+            cache_note += f", source: {response.source}"
+        print(f"  total           {response.total_seconds * 1000:9.2f} ms  ({cache_note})")
         print("\nsynthesized definition:")
         print(response.display.get("pretty") or response.expression)
         if show_raw and (response.display.get("raw_pretty") or response.raw_expression):
@@ -416,6 +476,8 @@ def _read_spec_file(path: str) -> str:
 def _cmd_synthesize(args) -> int:
     if (args.name is None) == (args.spec is None):
         raise CliError("pass exactly one of NAME or --spec FILE")
+    if getattr(args, "ancestor", None) and not getattr(args, "cache_dir", None):
+        raise CliError("--ancestor needs --cache-dir (the witness store lives there)")
     service = SynthesisService()
     request = api.SynthesizeRequest(
         problem=args.name or "",
@@ -423,6 +485,7 @@ def _cmd_synthesize(args) -> int:
         max_depth=args.max_depth,
         verify_scale=args.verify_scale,
         cache_dir=getattr(args, "cache_dir", None),
+        ancestor=getattr(args, "ancestor", None),
         # --raw only affects the text rendering; the JSON document is the
         # stable v1 schema with or without it.
         include_raw=bool(getattr(args, "raw", False)) and not args.as_json,
@@ -443,6 +506,8 @@ def _cmd_fuzz(args) -> int:
 
     if args.replay:
         return _fuzz_replay(args)
+    if args.mutate and args.url:
+        raise CliError("--mutate is local-only; drop --url")
 
     def on_event(kind: str, payload) -> None:
         if kind == "progress":
@@ -458,6 +523,7 @@ def _cmd_fuzz(args) -> int:
         max_depth=args.max_depth,
         url=args.url,
         shrink=not args.no_shrink,
+        mutate=args.mutate,
         on_event=on_event,
     )
     document = {
@@ -466,6 +532,8 @@ def _cmd_fuzz(args) -> int:
         "checked": report.checked,
         "synthesized": report.synthesized,
         "elapsed_seconds": round(report.elapsed_seconds, 3),
+        "mutate": args.mutate,
+        "sources": report.sources,
         "failures": [
             {
                 "kind": failure.kind,
@@ -483,10 +551,17 @@ def _cmd_fuzz(args) -> int:
     if args.as_json:
         print(json.dumps(document, indent=2))
     else:
+        mode = " (edit-mode)" if args.mutate else ""
         print(
-            f"fuzz seed={report.seed}: {report.synthesized}/{report.checked} synthesized "
-            f"clean, {len(report.failures)} failure(s) in {report.elapsed_seconds:.2f}s"
+            f"fuzz seed={report.seed}{mode}: {report.synthesized}/{report.checked} "
+            f"synthesized clean, {len(report.failures)} failure(s) "
+            f"in {report.elapsed_seconds:.2f}s"
         )
+        if report.sources:
+            breakdown = ", ".join(
+                f"{key}={value}" for key, value in sorted(report.sources.items())
+            )
+            print(f"  incremental-run provenance: {breakdown}")
         for failure in report.failures:
             print(f"  [{failure.kind}] {failure.name}: {failure.detail}")
             print("  minimized spec:" if failure.minimized else "  spec:")
@@ -605,6 +680,172 @@ def _remote_sweep(
 def _cmd_cache_stats(args) -> int:
     service = SynthesisService()
     return _render_cache_stats(service.cache_stats(cache_dir=args.cache_dir), args.as_json)
+
+
+# ----------------------------------------------------------------- witnesses
+def _witness_store_for(args):
+    if bool(args.cache_dir) == bool(args.url):
+        raise CliError("pass exactly one of --cache-dir or --url")
+    from pathlib import Path
+
+    from repro.witness.store import WITNESS_SUBDIR, WitnessStore
+
+    return WitnessStore(Path(args.cache_dir) / WITNESS_SUBDIR)
+
+
+def _render_witness_infos(infos: List[api.WitnessInfo], as_json: bool) -> int:
+    if as_json:
+        print(api.WitnessPage(witnesses=tuple(infos)).to_json())
+        return 0
+    if not infos:
+        print("no stored witnesses")
+        return 0
+    for info in infos:
+        print(
+            f"{info.digest[:16]}…  {info.name or '<unnamed>':<28} "
+            f"proof size {info.proof_size:>4}  {info.payload_bytes:>8} bytes"
+        )
+    print(f"\n{len(infos)} witnesses")
+    return 0
+
+
+def _witness_infos(args) -> List[api.WitnessInfo]:
+    """The (newest-first) inventory from the directory or the server."""
+    if args.url:
+        base = args.url.rstrip("/")
+        page = api.WitnessPage.from_json_dict(_http(f"{base}/{api.API_VERSION}/witnesses"))
+        return list(page.witnesses)
+    store = _witness_store_for(args)
+    return [
+        api.WitnessInfo(
+            digest=summary.digest,
+            name=summary.name,
+            proof_size=summary.proof_size,
+            created=summary.created,
+            payload_bytes=summary.payload_bytes,
+            sequent=summary.sequent,
+        )
+        for summary in store.list()
+    ]
+
+
+def _cmd_witness(args) -> int:
+    import base64
+
+    from repro.errors import ProofError
+
+    if bool(args.cache_dir) == bool(args.url):
+        raise CliError("pass exactly one of --cache-dir or --url")
+    command = args.witness_command
+    if command == "list":
+        infos = _witness_infos(args)
+        limit = getattr(args, "limit", None)
+        if limit is not None:
+            infos = infos[:limit]
+        return _render_witness_infos(infos, args.as_json)
+    if command == "show":
+        matches = [info for info in _witness_infos(args) if info.digest == args.digest]
+        if not matches:
+            raise CliError(f"no witness {args.digest!r} in this store")
+        info = matches[0]
+        if args.as_json:
+            print(json.dumps(info.to_json_dict(), indent=2))
+            return 0
+        print(f"digest:        {info.digest}")
+        print(f"name:          {info.name or '<unnamed>'}")
+        print(f"proof size:    {info.proof_size}")
+        print(f"payload bytes: {info.payload_bytes}")
+        if info.sequent:
+            print(f"sequent:       {info.sequent}")
+        return 0
+    if command == "export":
+        if args.url:
+            base = args.url.rstrip("/")
+            document = api.WitnessPayload.from_json_dict(
+                _http(f"{base}/{api.API_VERSION}/witnesses/{quote(args.digest)}")
+            )
+            blob = base64.b64decode(document.payload)
+        else:
+            blob = _witness_store_for(args).export_payload(args.digest)
+            if blob is None:
+                raise CliError(f"no witness {args.digest!r} in this store")
+        output = args.output or f"{args.digest}.witness"
+        try:
+            with open(output, "wb") as handle:
+                handle.write(blob)
+        except OSError as exc:
+            raise CliError(f"cannot write {output!r}: {exc}", code=1) from exc
+        print(f"exported {args.digest} to {output} ({len(blob)} bytes)")
+        return 0
+    if command == "handwritten":
+        if args.url:
+            raise CliError("witness handwritten needs --cache-dir (proofs are built locally)")
+        from repro.witness.handwritten import install_handwritten, replay_handwritten
+
+        store = _witness_store_for(args)
+        records = install_handwritten(store)
+        reports = []
+        for name in sorted(records):
+            report = replay_handwritten(store, name, scale=args.scale)
+            reports.append(report)
+            print(
+                f"installed {records[name].digest}  ({name}: proof size "
+                f"{report.proof_nodes}, replay verified "
+                f"{report.conditions_checked} interpolant conditions)"
+            )
+        if args.as_json:
+            print(
+                json.dumps(
+                    {
+                        report.name: {
+                            "digest": records[report.name].digest,
+                            "proof_nodes": report.proof_nodes,
+                            "conditions_checked": report.conditions_checked,
+                        }
+                        for report in reports
+                    },
+                    indent=2,
+                )
+            )
+        return 0
+    if command == "import":
+        imported: List[api.WitnessInfo] = []
+        store = None if args.url else _witness_store_for(args)
+        for path in args.paths:
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except OSError as exc:
+                raise CliError(f"cannot read {path!r}: {exc}") from exc
+            if args.url:
+                base = args.url.rstrip("/")
+                document = api.WitnessPayload(payload=base64.b64encode(blob).decode("ascii"))
+                info = api.WitnessInfo.from_json_dict(
+                    _http(
+                        f"{base}/{api.API_VERSION}/witnesses",
+                        method="PUT",
+                        payload=document.to_json_dict(),
+                    )
+                )
+            else:
+                try:
+                    record = store.import_payload(blob)
+                except ProofError as exc:
+                    raise CliError(f"{path}: witness payload rejected: {exc}") from exc
+                info = api.WitnessInfo(
+                    digest=record.digest,
+                    name=record.name,
+                    proof_size=record.proof_size,
+                    created=record.created,
+                    payload_bytes=len(blob),
+                    sequent=str(record.sequent),
+                )
+            imported.append(info)
+            print(f"imported {info.digest}  ({info.name or '<unnamed>'}, proof size {info.proof_size})")
+        if args.as_json:
+            print(api.WitnessPage(witnesses=tuple(imported)).to_json())
+        return 0
+    raise CliError(f"unknown witness command {command!r}")
 
 
 def _cmd_serve(args) -> int:
@@ -781,6 +1022,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "sweep": _cmd_sweep,
     "cache-stats": _cmd_cache_stats,
+    "witness": _cmd_witness,
     "serve": _cmd_serve,
     "client": _cmd_client,
 }

@@ -11,21 +11,28 @@ stage                     what it does
 ========================  ====================================================
 ``validate``              re-checks the specification, hash-conses ``φ``
 ``cache-lookup``          content-addressed lookup (:mod:`repro.service.cache`)
+``witness-lookup``        stored-proof replay / ancestor seeding (witness tier)
 ``proof-search``          focused determinacy proof (Theorem 2's witness)
 ``extraction``            proof → raw NRC definition (Theorems 4/10, App. G)
 ``simplification``        rewrite-engine cleanup of the raw definition
 ``verification``          batched semantic check on an instance family
+``witness-store``         persist the checked determinacy proof
 ``cache-store``           write-through of the finished result
 ========================  ====================================================
 
 and records everything in a :class:`PipelineReport`.  A cache hit skips the
 three expensive middle stages; verification (optional — it needs an instance
-family) always runs so a hit is still validated against fresh instances.
+family) always runs so a hit is still validated against fresh instances.  On
+a miss the report's ``source`` records how the result was produced —
+``witness`` (stored proof replayed), ``incremental`` (search seeded from an
+ancestor witness) or ``cold``.
 """
 
 from __future__ import annotations
 
+import logging
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -35,12 +42,13 @@ from repro.logic.formulas import formula_size
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import Var
 from repro.logic.typecheck import check_formula
+from repro.nr.types import ProdType
 from repro.nr.values import Value
 from repro.nrc.expr import expr_size
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.nrc.simplify import simplify_with_stats
-from repro.proofs.prooftree import proof_size, rules_used
+from repro.proofs.prooftree import ProofNode, proof_size, rules_used
 from repro.proofs.search import ProofSearch
 from repro.service import api
 from repro.service.cache import SynthesisCache, spec_digest
@@ -51,16 +59,25 @@ from repro.synthesis.implicit_to_explicit import (
     synthesize,
 )
 from repro.synthesis.verification import VerificationReport, check_explicit_definition
+from repro.witness.incremental import seed_incremental
+from repro.witness.store import witness_digest
 
 #: Stage names in execution order (import these instead of retyping strings).
 STAGE_VALIDATE = "validate"
 STAGE_CACHE_LOOKUP = "cache-lookup"
+STAGE_WITNESS_LOOKUP = "witness-lookup"
 STAGE_FORMULA_COMPILE = "formula-compile"
 STAGE_PROOF_SEARCH = "proof-search"
 STAGE_EXTRACTION = "extraction"
 STAGE_SIMPLIFICATION = "simplification"
 STAGE_VERIFICATION = "verification"
+STAGE_WITNESS_STORE = "witness-store"
 STAGE_CACHE_STORE = "cache-store"
+
+#: ``PipelineReport.source`` values: how a cache-missed result was produced.
+SOURCE_WITNESS = "witness"
+SOURCE_INCREMENTAL = "incremental"
+SOURCE_COLD = "cold"
 
 
 @dataclass
@@ -121,6 +138,9 @@ class PipelineReport:
     stages: List[StageTiming] = field(default_factory=list)
     result: Optional[SynthesisResult] = None
     verification: Optional[VerificationReport] = None
+    #: How a cache-missed result was produced ("witness" | "incremental" |
+    #: "cold"); ``None`` on cache hits, where no synthesis ran.
+    source: Optional[str] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -191,6 +211,7 @@ class PipelineReport:
             proof_size=result_proof_size,
             raw_expression=raw_expression,
             verification=verification,
+            source=self.source,
             display=display,
         )
 
@@ -224,11 +245,17 @@ class SynthesisPipeline:
         self,
         problem: ImplicitDefinitionProblem,
         assignments: Optional[Sequence[Mapping[Var, Value]]] = None,
+        ancestor: Optional[str] = None,
     ) -> PipelineReport:
         """Synthesize (or recall) the explicit definition, fully instrumented.
 
         ``assignments`` — optional satisfying-instance family for the batched
         verification stage; omitted, the stage is skipped.
+
+        ``ancestor`` — witness digest of the spec this one was edited from.
+        On a cache miss the proof search is seeded with the unaffected
+        subproofs of the ancestor witness (incremental resynthesis); an
+        unresolvable digest silently degrades to a cold search.
         """
         report = PipelineReport(
             problem_name=problem.name,
@@ -265,6 +292,48 @@ class SynthesisPipeline:
                     # lookup ran under (the lookup itself just synced it).
                     detail["manifest_generation"] = self.cache._manifest_generation
 
+        # -------- witness-lookup: replay a stored proof or seed from an
+        # ancestor's.  Only on a miss — a cache hit already has the finished
+        # result, so no proof work (and no provenance source) remains.
+        replay_proof: Optional[ProofNode] = None
+        search: Optional[ProofSearch] = None
+        witnesses = self.cache.witnesses if self.cache is not None else None
+        if result is None and witnesses is not None:
+            with _timed_stage(stages, STAGE_WITNESS_LOOKUP) as detail:
+                goal = problem.determinacy_goal()
+                record = witnesses.get_for_sequent(goal)
+                if record is not None:
+                    # Exact witness: skip proof search entirely and replay
+                    # the stored (re-checked) proof through extraction.
+                    replay_proof = record.proof
+                    report.source = SOURCE_WITNESS
+                    detail["witness"] = record.digest
+                elif ancestor is not None:
+                    # ``check=False`` for the same reason as the component
+                    # lookups inside ``seed_incremental``: edited regions are
+                    # re-checked during translation and the cold-fallback net
+                    # below absorbs anything else.
+                    record = witnesses.get(ancestor, check=False)
+                    if record is not None:
+                        search = self.search_factory()
+                        # Optimistic seeding leans on synthesis-time proof
+                        # validation plus the cold-fallback net below; when
+                        # validation is off, pay the per-node checks instead.
+                        seed = seed_incremental(
+                            witnesses,
+                            search.tables,
+                            record,
+                            problem,
+                            optimistic=self.validate_proof,
+                        )
+                        report.source = SOURCE_INCREMENTAL
+                        detail.update(seed.as_detail())
+                if report.source is None:
+                    report.source = SOURCE_COLD
+                detail["source"] = report.source
+        elif result is None:
+            report.source = SOURCE_COLD
+
         # -------- formula-compile: persisted program, node cache, or fresh.
         # The compiled specification backs the verification stage (and any
         # later eval); surfacing *where* it came from makes the persisted-
@@ -290,8 +359,32 @@ class SynthesisPipeline:
                 }
             )
 
+        subresults: List[SynthesisResult] = []
         if result is None:
-            result = self._synthesize_staged(problem, stages)
+            try:
+                result = self._synthesize_staged(
+                    problem, stages, search=search, proof=replay_proof, collect=subresults
+                )
+            except Exception:
+                if replay_proof is None and search is None:
+                    raise
+                # The witness tier must never fail a run: a stored proof that
+                # replays badly or a seeded table that misleads the search is
+                # logged, counted, and absorbed by a clean cold rerun.
+                logging.getLogger("repro.witness").warning(
+                    "witness-assisted synthesis of %r failed (source=%s); "
+                    "falling back to cold",
+                    problem.name,
+                    report.source,
+                    exc_info=True,
+                )
+                get_registry().counter(
+                    "repro_witness_replay_failures_total",
+                    "Witness-assisted synthesis runs that fell back to cold",
+                ).inc()
+                report.source = SOURCE_COLD
+                subresults.clear()
+                result = self._synthesize_staged(problem, stages, collect=subresults)
         report.result = result
 
         # -------- verification (runs on hits too: instances may be new).
@@ -314,6 +407,69 @@ class SynthesisPipeline:
                         - (phi_program.stats["rows_run"] - run_before),
                     }
                 )
+
+        # -------- witness-store: persist the determinacy proof — and the
+        # component proofs of the Appendix G product recursion — so later
+        # edits of this spec can resynthesize incrementally.  Runs on cache
+        # hits too (the proof travels inside the result), backfilling stores
+        # that predate the witness tier; re-storing an existing digest is
+        # skipped, so a replayed witness is never rewritten.
+        if witnesses is not None and result.proof is not None:
+            # The top-level proof first, then any collected component results
+            # (``collect`` also re-delivers the top-level result; the seen-set
+            # dedupes it).  A freshly synthesized proof was validated on this
+            # run's extraction path, so skip the re-check; a proof recalled
+            # from the result cache (backfill) was not, so check it.
+            candidates = [
+                (result.proof, problem, report.cache_hit or not self.validate_proof)
+            ]
+            candidates += [
+                (sub.proof, sub.problem, False)
+                for sub in subresults
+                if sub.proof is not None
+            ]
+            # Component digests by sub-problem name, so each stored product
+            # witness can point at its own components (the incremental seeder
+            # walks this digest tree instead of recomputing goals).
+            digest_by_name = {
+                problem_.name: witness_digest(proof_.sequent)
+                for proof_, problem_, _ in candidates
+            }
+            seen = set()
+            to_store = []
+            for proof_, problem_, check_ in candidates:
+                digest_ = witness_digest(proof_.sequent)
+                if digest_ in seen or digest_ in witnesses:
+                    continue
+                seen.add(digest_)
+                components = ()
+                if isinstance(problem_.output.typ, ProdType):
+                    components = tuple(
+                        digest_by_name.get(
+                            f"{problem_.name}_{problem_.output.name}_{index}", ""
+                        )
+                        for index in (1, 2)
+                    )
+                to_store.append((proof_, problem_, check_, components))
+            if to_store:
+                with _timed_stage(stages, STAGE_WITNESS_STORE) as detail:
+                    records = [
+                        witnesses.put(
+                            proof_,
+                            name=problem_.name,
+                            problem=problem_,
+                            check=check_,
+                            components=components_,
+                        )
+                        for proof_, problem_, check_, components_ in to_store
+                    ]
+                    detail.update(
+                        {
+                            "witness": records[0].digest,
+                            "proof_size": records[0].proof_size,
+                            "stored": len(records),
+                        }
+                    )
 
         # -------- cache-store + bounded-memory maintenance.
         if self.cache is not None:
@@ -346,57 +502,88 @@ class SynthesisPipeline:
         ).inc(tier=report.cache_tier)
         return report
 
-    # ------------------------------------------------------------------ cold
+    # ---------------------------------------------------- cold / incremental
     def _synthesize_staged(
-        self, problem: ImplicitDefinitionProblem, stages: List[StageTiming]
+        self,
+        problem: ImplicitDefinitionProblem,
+        stages: List[StageTiming],
+        search: Optional[ProofSearch] = None,
+        proof: Optional[ProofNode] = None,
+        collect: Optional[List[SynthesisResult]] = None,
     ) -> SynthesisResult:
-        search = self.search_factory()
+        """Run the synthesis stages for one cache-missed problem.
 
-        with _timed_stage(stages, STAGE_PROOF_SEARCH) as detail:
-            proof = find_determinacy_proof(problem, search)
-            detail.update(
-                {
-                    "proof_size": proof_size(proof),
-                    "rules": rules_used(proof),
-                    "attempts": search.stats.attempts,
-                    "exists_moves": search.stats.exists_moves,
-                }
+        ``search`` — a pre-seeded search (incremental resynthesis); default
+        is a fresh one from the factory.  ``proof`` — a replayed witness
+        proof; given, the proof-search stage is skipped entirely and the
+        extraction runs under a ``witness.replay`` span (``synthesize``
+        re-validates the proof against the problem's determinacy goal).
+        ``collect`` — accumulates the component results of product outputs
+        for the witness-store stage.
+        """
+        if search is None:
+            search = self.search_factory()
+        replay = proof is not None
+
+        if not replay:
+            with _timed_stage(stages, STAGE_PROOF_SEARCH) as detail:
+                proof = find_determinacy_proof(problem, search)
+                detail.update(
+                    {
+                        "proof_size": proof_size(proof),
+                        "rules": rules_used(proof),
+                        "attempts": search.stats.attempts,
+                        "exists_moves": search.stats.exists_moves,
+                    }
+                )
+            registry = get_registry()
+            registry.counter("repro_proof_searches_total", "Cold determinacy proof searches").inc()
+            registry.counter("repro_proof_attempts_total", "Proof-search rule attempts").inc(
+                search.stats.attempts
             )
-        registry = get_registry()
-        registry.counter("repro_proof_searches_total", "Cold determinacy proof searches").inc()
-        registry.counter("repro_proof_attempts_total", "Proof-search rule attempts").inc(
-            search.stats.attempts
+            registry.counter(
+                "repro_proof_table_hits_total", "Transposition-table replays during proof search"
+            ).inc(search.stats.table_hits)
+            registry.counter(
+                "repro_proof_failure_hits_total", "Known-dead-end skips during proof search"
+            ).inc(search.stats.failure_hits)
+
+        replay_span = (
+            get_tracer().span(
+                "witness.replay",
+                digest=witness_digest(proof.sequent),
+                proof_size=proof_size(proof),
+            )
+            if replay
+            else nullcontext()
         )
-        registry.counter(
-            "repro_proof_table_hits_total", "Transposition-table replays during proof search"
-        ).inc(search.stats.table_hits)
-        registry.counter(
-            "repro_proof_failure_hits_total", "Known-dead-end skips during proof search"
-        ).inc(search.stats.failure_hits)
+        with replay_span:
+            with _timed_stage(stages, STAGE_EXTRACTION) as detail:
+                raw_result = synthesize(
+                    problem,
+                    proof=proof,
+                    search=search,
+                    simplify_output=False,
+                    validate_proof=self.validate_proof,
+                    collect=collect,
+                )
+                raw = raw_result.expression
+                detail["raw_size"] = expr_size(raw)
+                if replay:
+                    detail["replayed_witness"] = True
 
-        with _timed_stage(stages, STAGE_EXTRACTION) as detail:
-            raw_result = synthesize(
-                problem,
-                proof=proof,
-                search=search,
-                simplify_output=False,
-                validate_proof=self.validate_proof,
-            )
-            raw = raw_result.expression
-            detail["raw_size"] = expr_size(raw)
+            if not self.simplify_output:
+                return raw_result
 
-        if not self.simplify_output:
-            return raw_result
-
-        with _timed_stage(stages, STAGE_SIMPLIFICATION) as detail:
-            simplified, rewrite_stats = simplify_with_stats(raw)
-            detail.update(
-                {
-                    "size_before": expr_size(raw),
-                    "size_after": expr_size(simplified),
-                    "rewrite_passes": rewrite_stats.passes,
-                }
-            )
+            with _timed_stage(stages, STAGE_SIMPLIFICATION) as detail:
+                simplified, rewrite_stats = simplify_with_stats(raw)
+                detail.update(
+                    {
+                        "size_before": expr_size(raw),
+                        "size_after": expr_size(simplified),
+                        "rewrite_passes": rewrite_stats.passes,
+                    }
+                )
         return SynthesisResult(
             problem=problem,
             expression=simplified,

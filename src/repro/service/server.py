@@ -55,6 +55,13 @@ POST       ``/v1/sweeps[?wait=1]``             :class:`api.SweepSubmitRequest` â
                                                legacy :class:`api.SweepResponse`
 GET        ``/v1/sweeps/<id>``                 :class:`api.SweepJobStatus` with
                                                per-shard progress
+GET        ``/v1/witnesses[?limit=N]``         :class:`api.WitnessPage` (newest
+                                               first)
+GET        ``/v1/witnesses/<digest>``          :class:`api.WitnessPayload`
+PUT        ``/v1/witnesses``                   import a
+                                               :class:`api.WitnessPayload`
+                                               (re-validated end to end) â†’
+                                               :class:`api.WitnessInfo`
 GET        ``/v1/cache/stats[?cache_dir]``     :class:`api.DiskCacheStats` /
                                                :class:`api.ProcessCacheStats`;
                                                ``limit``/``cursor`` paginate
@@ -312,6 +319,11 @@ class SynthesisService:
                 shared_value_interner=shared_interner_stats(),
                 search_tables=last_tables_stats(),
                 result_cache=self.cache.stats.as_dict(),
+                witness_store=(
+                    self.cache.witnesses.stats.as_dict()
+                    if self.cache.witnesses is not None
+                    else {}
+                ),
             )
         entries = disk_entries(cache_dir)
         total_payload_bytes = sum(entry.payload_bytes for entry in entries)
@@ -334,6 +346,81 @@ class SynthesisService:
             total_payload_bytes=total_payload_bytes,
             next_cursor=next_cursor,
             manifest=manifest_info,
+        )
+
+    # --------------------------------------------------------- witness store
+    def _witness_store(self):
+        store = self.cache.witnesses
+        if store is None:
+            raise api.invalid_request(
+                "witness store unavailable: the server cache has no disk directory"
+            )
+        return store
+
+    def list_witnesses(self, limit: Optional[int] = None) -> api.WitnessPage:
+        """The witness-store inventory (``GET /v1/witnesses``), newest first."""
+        summaries = self._witness_store().list()
+        if limit is not None:
+            summaries = summaries[:limit]
+        return api.WitnessPage(
+            witnesses=tuple(
+                api.WitnessInfo(
+                    digest=summary.digest,
+                    name=summary.name,
+                    proof_size=summary.proof_size,
+                    created=summary.created,
+                    payload_bytes=summary.payload_bytes,
+                    sequent=summary.sequent,
+                )
+                for summary in summaries
+            )
+        )
+
+    def get_witness(self, digest: str) -> api.WitnessPayload:
+        """One witness's portable payload (``GET /v1/witnesses/<digest>``)."""
+        store = self._witness_store()
+        blob = store.export_payload(digest)
+        if blob is None:
+            raise api.ApiError("not_found", f"no witness {digest!r} in this store")
+        info = None
+        for summary in store.list():
+            if summary.digest == digest:
+                info = api.WitnessInfo(
+                    digest=summary.digest,
+                    name=summary.name,
+                    proof_size=summary.proof_size,
+                    created=summary.created,
+                    payload_bytes=summary.payload_bytes,
+                    sequent=summary.sequent,
+                )
+                break
+        return api.WitnessPayload(payload=base64.b64encode(blob).decode("ascii"), info=info)
+
+    def import_witness(self, payload: api.WitnessPayload) -> api.WitnessInfo:
+        """Adopt a serialized witness payload (``PUT /v1/witnesses``).
+
+        The payload re-validates end to end (fingerprint, digest, full proof
+        re-check) before anything touches disk; a bad payload is the caller's
+        error, not a silent miss.
+        """
+        from repro.errors import ProofError
+
+        try:
+            blob = base64.b64decode(payload.payload, validate=True)
+        except Exception as exc:
+            raise api.invalid_request(f"witness payload is not valid base64: {exc}") from exc
+        store = self._witness_store()
+        try:
+            record = store.import_payload(blob)
+        except ProofError as exc:
+            raise api.invalid_request(f"witness payload rejected: {exc}") from exc
+        return api.WitnessInfo(
+            digest=record.digest,
+            name=record.name,
+            proof_size=record.proof_size,
+            created=record.created,
+            payload_bytes=len(blob),
+            sequent=str(record.sequent),
         )
 
     def queue_depth(self) -> int:
@@ -1005,6 +1092,18 @@ async def _route(service: SynthesisService, request: _HttpRequest) -> Tuple[int,
             raise api.ApiError("not_found", f"no route for {method} {path}")
         status = await service.sweep_status(sweep_id)
         return 200, status.to_json_dict()
+    if path == f"{v}/witnesses":
+        if method == "GET":
+            return 200, service.list_witnesses(limit=_limit_query(request)).to_json_dict()
+        if method == "PUT":
+            payload = api.WitnessPayload.from_json(request.body.decode("utf-8") or "{}")
+            return 200, service.import_witness(payload).to_json_dict()
+        raise api.ApiError("not_found", f"no route for {method} {path}")
+    if path.startswith(f"{v}/witnesses/"):
+        digest = path[len(f"{v}/witnesses/") :]
+        if method != "GET" or not digest:
+            raise api.ApiError("not_found", f"no route for {method} {path}")
+        return 200, service.get_witness(digest).to_json_dict()
     if path == f"{v}/cache/stats":
         if method != "GET":
             raise api.ApiError("not_found", f"no route for {method} {path}")
@@ -1043,11 +1142,14 @@ def _normalize_endpoint(path: str) -> str:
         return f"{v}/jobs/<id>/trace" if path.endswith("/trace") else f"{v}/jobs/<id>"
     if path.startswith(f"{v}/sweeps/"):
         return f"{v}/sweeps/<id>"
+    if path.startswith(f"{v}/witnesses/"):
+        return f"{v}/witnesses/<digest>"
     known = {
         "/healthz",
         f"{v}/problems",
         f"{v}/synthesize",
         f"{v}/sweeps",
+        f"{v}/witnesses",
         f"{v}/cache/stats",
         f"{v}/metrics",
     }

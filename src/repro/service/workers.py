@@ -24,22 +24,28 @@ for determinism.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.nrc.expr import expr_size
 from repro.obs.metrics import get_registry
 from repro.obs.trace import TraceContext, export_obs_state, get_tracer, install_child_obs
-from repro.proofs.search import ProofSearch
+from repro.proofs.prooftree import ProofNode
+from repro.proofs.search import ProofSearch, SearchTables
+from repro.proofs.sequents import Sequent
 from repro.service import api
 from repro.service.cache import SynthesisCache
 from repro.service.pipeline import PipelineReport, SynthesisPipeline
 from repro.service.registry import EXPECTED_OK, ProblemRegistry, RegistryEntry, default_registry
 from repro.synthesis.implicit_to_explicit import SynthesisResult
+from repro.witness.incremental import warm_tables_from_store
+
+logger = logging.getLogger(__name__)
 
 #: Default verification family size when a sweep verifies (``scale`` rows).
 DEFAULT_VERIFY_SCALE = api.DEFAULT_VERIFY_SCALE
@@ -129,6 +135,57 @@ class SweepSummary:
         return self.to_api().to_json_dict()
 
 
+# ----------------------------------------------------- warm-start transposition
+#: Per-process snapshot of witness-derived success entries, keyed by witness
+#: store root.  Warmed once per (process, store) from the disk tier, then
+#: copied into every fresh search's tables — so a worker assigned a problem
+#: any fleet peer already proved starts with those subproofs in hand.
+_WARM_SUCCESSES: Dict[str, Dict[Sequent, ProofNode]] = {}
+
+
+def warm_successes_for(cache: Optional[SynthesisCache]) -> Optional[Dict[Sequent, ProofNode]]:
+    """The witness-warmed success table for ``cache``'s disk tier (memoized).
+
+    Only *success* entries are shared: a checked proof is sound under any
+    search configuration, whereas failure/closure entries are relative to
+    the search's own budgets (:class:`~repro.proofs.search.SearchTables`).
+    Warm-up is best-effort — any store problem logs and yields an empty map.
+    """
+    if cache is None or cache.witnesses is None:
+        return None
+    key = str(cache.witnesses.root)
+    warmed = _WARM_SUCCESSES.get(key)
+    if warmed is None:
+        tables = SearchTables()
+        try:
+            warm_tables_from_store(cache.witnesses, tables)
+        except Exception:  # noqa: BLE001 - warm-up must never fail a job
+            logger.warning("witness warm-up from %s failed", key, exc_info=True)
+        warmed = tables.successes
+        _WARM_SUCCESSES[key] = warmed
+    return warmed
+
+
+def warmed_search_factory(
+    depth: Optional[int], cache: Optional[SynthesisCache]
+) -> Callable[[], ProofSearch]:
+    """A search factory whose tables start from the witness-warmed successes."""
+    warmed = warm_successes_for(cache)
+
+    def factory() -> ProofSearch:
+        search = ProofSearch(max_depth=depth) if depth is not None else ProofSearch()
+        if warmed:
+            search.tables.successes.update(warmed)
+        return search
+
+    return factory
+
+
+def reset_warm_cache() -> None:
+    """Forget per-process warmed tables (tests; long-lived servers on evict)."""
+    _WARM_SUCCESSES.clear()
+
+
 # ----------------------------------------------------- typed request execution
 def resolve_request_entry(
     request: api.SynthesizeRequest, registry: Optional[ProblemRegistry] = None
@@ -186,14 +243,12 @@ def execute_synthesize_request(
                 f"cannot use cache dir {request.cache_dir!r}: {exc}"
             ) from exc
     depth = entry.max_depth if request.max_depth is None else request.max_depth
-    pipeline = SynthesisPipeline(
-        cache=cache, search_factory=lambda: ProofSearch(max_depth=depth)
-    )
+    pipeline = SynthesisPipeline(cache=cache, search_factory=warmed_search_factory(depth, cache))
     assignments = None
     if request.verify_scale and entry.instances is not None:
         assignments = entry.instances(request.verify_scale)
     try:
-        report = pipeline.run(entry.problem(), assignments)
+        report = pipeline.run(entry.problem(), assignments, ancestor=request.ancestor)
     except api.ApiError:
         raise
     except ReproError as exc:
@@ -334,7 +389,7 @@ def pipeline_for_entry(
     elif memory_cache:
         cache = SynthesisCache()
     depth = entry.max_depth if max_depth is None else max_depth
-    return SynthesisPipeline(cache=cache, search_factory=lambda: ProofSearch(max_depth=depth))
+    return SynthesisPipeline(cache=cache, search_factory=warmed_search_factory(depth, cache))
 
 
 def _execute_job(name: str, options: Dict[str, object]) -> JobOutcome:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
 import time
 import urllib.error
 import urllib.request
@@ -51,19 +52,23 @@ from repro.nrc.expr import (
 from repro.nrc.printer import pretty
 from repro.nrc.typing import infer_type
 from repro.proofs.search import ProofSearch
+from repro.service.cache import SynthesisCache
 from repro.service.pipeline import SynthesisPipeline
 from repro.specs.io_spec import io_specification, is_composition_free
 from repro.specs.lang import parse_expr, parse_problem, pretty_problem
 from repro.specs.problems import ImplicitDefinitionProblem
 from repro.synthesis.verification import check_explicit_definition
+from repro.witness.store import witness_digest
 
 __all__ = [
     "GeneratedSpec",
     "FuzzFailure",
     "FuzzReport",
     "DifferentialChecker",
+    "MutationChecker",
     "generate_spec",
     "build_spec",
+    "mutate_spec",
     "shrink_failure",
     "run_fuzz",
 ]
@@ -104,7 +109,7 @@ class GeneratedSpec:
 class FuzzFailure:
     """One (minimized) fuzz finding."""
 
-    kind: str  # "roundtrip" | "prover" | "verify" | "differential" | "remote"
+    kind: str  # "roundtrip" | "prover" | "verify" | "differential" | "remote" | "mutate"
     index: int
     name: str
     detail: str
@@ -122,6 +127,9 @@ class FuzzReport:
     synthesized: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Edit-mode only: provenance of the re-synthesis runs
+    #: (``incremental``/``witness``/``cold`` counts).
+    sources: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -485,6 +493,151 @@ def shrink_failure(
     return current_spec, minimized
 
 
+# ------------------------------------------------------------------- mutation
+def _swap_steps(expr: NRCExpr) -> Iterator[NRCExpr]:
+    """Operand-order edits: each ∪/∖ node with its two operands swapped."""
+    if isinstance(expr, (NUnion, NDiff)):
+        left, right = expr.children()
+        if left != right:
+            yield expr.rebuild((right, left))
+    children = expr.children()
+    for position, child in enumerate(children):
+        for swapped in _swap_steps(child):
+            rebuilt = list(children)
+            rebuilt[position] = swapped
+            try:
+                yield expr.rebuild(tuple(rebuilt))
+            except ReproError:
+                continue
+
+
+def _mutation_steps(expr: NRCExpr) -> Iterator[NRCExpr]:
+    """Every expression one *edit* away from ``expr``: shrinks plus swaps."""
+    yield from _shrink_steps(expr)
+    yield from _swap_steps(expr)
+
+
+def mutate_spec(
+    spec: GeneratedSpec, rng: random.Random, instance_count: int = 3
+) -> Optional[GeneratedSpec]:
+    """A one-subtree edit of ``spec``, rebuilt into a fresh problem.
+
+    This mirrors the editing workflow incremental resynthesis targets: the
+    edited spec differs from its ancestor in exactly one subtree, so most of
+    the ancestor's determinacy proof should survive the edit.  Returns
+    ``None`` when no edit keeps at least one free input variable.
+    """
+    candidates: List[NRCExpr] = []
+    for candidate in _mutation_steps(spec.expr):
+        if candidate != spec.expr and nrc_free_vars(candidate):
+            candidates.append(candidate)
+    if not candidates:
+        return None
+    chosen = rng.choice(candidates)
+    try:
+        return build_spec(
+            chosen, f"{spec.name}_edited", rng, spec.index, instance_count=instance_count
+        )
+    except ReproError:
+        return None
+
+
+class MutationChecker:
+    """Differential harness for incremental resynthesis over one-subtree edits.
+
+    For each generated spec (the *ancestor*): synthesize it cold into a
+    temporary witness-backed cache, derive a one-subtree edit, then run the
+    edit twice — once cold (no cache) and once incrementally (same cache,
+    ``ancestor=<witness digest>``) — and require byte-identical synthesized
+    expressions and identical verification outcomes.  Falling *back* to a
+    cold search inside the incremental run is acceptable (the digest may
+    simply not help); *diverging* from the cold run is a finding.
+    """
+
+    def __init__(self, max_depth: int = 12, instance_count: int = 3) -> None:
+        self.max_depth = max_depth
+        self.instance_count = instance_count
+        #: Provenance of each incremental run (``incremental``/``witness``/
+        #: ``cold``/``hit`` counts) — surfaced in :attr:`FuzzReport.sources`.
+        self.sources: Dict[str, int] = {}
+
+    def check(self, spec: GeneratedSpec) -> Optional[FuzzFailure]:
+        depth = self.max_depth
+        rng = random.Random(f"mutate:{spec.index}:{pretty(spec.expr, max_width=0)}")
+        edited = mutate_spec(spec, rng, instance_count=self.instance_count)
+        if edited is None:
+            return None
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-mutate-") as tmp:
+            cache = SynthesisCache(disk_dir=tmp)
+            ancestor_pipeline = SynthesisPipeline(
+                cache=cache, search_factory=lambda: ProofSearch(max_depth=depth)
+            )
+            try:
+                ancestor_pipeline.run(spec.problem, spec.instances)
+            except ReproError as exc:
+                return self._failure(
+                    spec, "prover", f"ancestor failed: {type(exc).__name__}: {exc}"
+                )
+            digest = witness_digest(spec.problem.determinacy_goal())
+            cold_pipeline = SynthesisPipeline(
+                search_factory=lambda: ProofSearch(max_depth=depth)
+            )
+            try:
+                cold = cold_pipeline.run(edited.problem, edited.instances)
+            except ReproError as exc:
+                return self._failure(
+                    edited, "prover", f"cold edit failed: {type(exc).__name__}: {exc}"
+                )
+            incremental_pipeline = SynthesisPipeline(
+                cache=cache, search_factory=lambda: ProofSearch(max_depth=depth)
+            )
+            try:
+                incremental = incremental_pipeline.run(
+                    edited.problem, edited.instances, ancestor=digest
+                )
+            except ReproError as exc:
+                return self._failure(
+                    edited,
+                    "mutate",
+                    f"incremental raised where cold succeeded: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+        source = incremental.source or "hit"
+        self.sources[source] = self.sources.get(source, 0) + 1
+        if cold.result is None or incremental.result is None:  # pragma: no cover
+            return self._failure(edited, "mutate", "pipeline returned no result")
+        cold_expression = str(cold.result.expression)
+        incremental_expression = str(incremental.result.expression)
+        if cold_expression != incremental_expression:
+            return self._failure(
+                edited,
+                "mutate",
+                f"cold synthesized {cold_expression!r} but incremental "
+                f"(source={source}) {incremental_expression!r}",
+            )
+        cold_ok = None if cold.verification is None else cold.verification.ok
+        incremental_ok = (
+            None if incremental.verification is None else incremental.verification.ok
+        )
+        if cold_ok != incremental_ok:
+            return self._failure(
+                edited,
+                "mutate",
+                f"verification diverged: cold ok={cold_ok} vs incremental "
+                f"ok={incremental_ok} (source={source})",
+            )
+        return None
+
+    def _failure(self, spec: GeneratedSpec, kind: str, detail: str) -> FuzzFailure:
+        return FuzzFailure(
+            kind=kind,
+            index=spec.index,
+            name=spec.name,
+            detail=detail,
+            spec_text=spec.spec_text(),
+        )
+
+
 # ------------------------------------------------------------------- the loop
 def run_fuzz(
     seed: int = 0,
@@ -493,14 +646,25 @@ def run_fuzz(
     instance_count: int = 3,
     url: Optional[str] = None,
     shrink: bool = True,
+    mutate: bool = False,
     on_event: Optional[Callable[[str, object], None]] = None,
 ) -> FuzzReport:
     """Drive ``count`` generated specs through the differential gauntlet.
 
+    ``mutate=True`` switches to edit-mode (:class:`MutationChecker`): each
+    spec is synthesized as an ancestor, edited in one subtree, and the edit's
+    incremental resynthesis is differentially checked against a cold run.
+
     ``on_event(kind, payload)`` receives ``("progress", index)`` heartbeats
     and ``("failure", FuzzFailure)`` for each (minimized) finding.
     """
-    checker = DifferentialChecker(max_depth=max_depth, url=url)
+    if mutate and url is not None:
+        raise ValueError("edit-mode fuzzing is local-only; it cannot target a fleet URL")
+    checker: DifferentialChecker | MutationChecker
+    if mutate:
+        checker = MutationChecker(max_depth=max_depth, instance_count=instance_count)
+    else:
+        checker = DifferentialChecker(max_depth=max_depth, url=url)
     report = FuzzReport(seed=seed, count=count)
     started = time.perf_counter()
     for index in range(count):
@@ -517,6 +681,8 @@ def run_fuzz(
                 on_event("failure", failure)
         if on_event is not None and (index + 1) % 25 == 0:
             on_event("progress", index + 1)
+    if isinstance(checker, MutationChecker):
+        report.sources = dict(checker.sources)
     report.elapsed_seconds = time.perf_counter() - started
     return report
 

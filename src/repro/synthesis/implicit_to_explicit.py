@@ -26,7 +26,7 @@ The algorithm follows the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ProofSearchError, SynthesisError
 from repro.interpolation.delta0 import interpolate
@@ -88,11 +88,16 @@ def synthesize(
     search: Optional[ProofSearch] = None,
     simplify_output: bool = True,
     validate_proof: bool = True,
+    collect: Optional[List["SynthesisResult"]] = None,
 ) -> SynthesisResult:
     """Compute an explicit NRC definition of the problem's output variable.
 
     ``proof`` must be a focused proof of ``problem.determinacy_goal()``; when
-    omitted, the bundled proof search is used to find one.
+    omitted, the bundled proof search is used to find one.  ``collect``
+    accumulates every :class:`SynthesisResult` produced along the way —
+    including the component results of product outputs, whose determinacy
+    proofs are otherwise internal to the Appendix G recursion.  The witness
+    tier uses this to persist component proofs alongside the top-level one.
     """
     if proof is None:
         proof = find_determinacy_proof(problem, search)
@@ -101,16 +106,22 @@ def synthesize(
         if proof.sequent != problem.determinacy_goal():
             raise SynthesisError("the supplied proof does not prove the determinacy sequent")
 
-    expression, interpolant = _synthesize_typed(problem, proof, search)
+    expression, interpolant = _synthesize_typed(problem, proof, search, collect)
     raw = expression
     if simplify_output:
         expression = simplify(expression)
-    return SynthesisResult(problem, expression, proof, interpolant, raw)
+    result = SynthesisResult(problem, expression, proof, interpolant, raw)
+    if collect is not None:
+        collect.append(result)
+    return result
 
 
 # --------------------------------------------------------------------------
 def _synthesize_typed(
-    problem: ImplicitDefinitionProblem, proof: ProofNode, search: Optional[ProofSearch]
+    problem: ImplicitDefinitionProblem,
+    proof: ProofNode,
+    search: Optional[ProofSearch],
+    collect: Optional[List[SynthesisResult]] = None,
 ) -> Tuple[NRCExpr, Optional[Formula]]:
     output = problem.output
     typ = output.typ
@@ -119,7 +130,7 @@ def _synthesize_typed(
     if isinstance(typ, UrType):
         return _synthesize_ur(problem, proof)
     if isinstance(typ, ProdType):
-        return _synthesize_product(problem, search), None
+        return _synthesize_product(problem, search, collect), None
     if isinstance(typ, SetType):
         return _synthesize_set(problem, proof)
     raise SynthesisError(f"unsupported output type {typ}")
@@ -189,7 +200,41 @@ def _synthesize_set(problem: ImplicitDefinitionProblem, proof: ProofNode) -> Tup
 
 
 # -------------------------------------------------------------- product case
-def _synthesize_product(problem: ImplicitDefinitionProblem, search: Optional[ProofSearch]) -> NRCExpr:
+def product_subproblems(
+    problem: ImplicitDefinitionProblem,
+) -> Tuple[ImplicitDefinitionProblem, ImplicitDefinitionProblem]:
+    """The two component sub-problems of a product-typed output (Appendix G).
+
+    The decomposition is deterministic in the problem — component variables
+    are named ``<output>_1``/``<output>_2`` and φ is β-normalized after the
+    pair substitution — so the incremental seeder can replay it on an edited
+    spec and pair each component with the stored witness of its ancestor
+    counterpart (:mod:`repro.witness.incremental`).
+    """
+    output = problem.output
+    typ: ProdType = output.typ  # type: ignore[assignment]
+    first = Var(output.name + "_1", typ.left)
+    second = Var(output.name + "_2", typ.right)
+    substituted = beta_normalize_formula(substitute(problem.phi, output, PairTerm(first, second)))
+    subs = []
+    for component, other in ((first, second), (second, first)):
+        subs.append(
+            ImplicitDefinitionProblem(
+                name=f"{problem.name}_{component.name}",
+                phi=substituted,
+                inputs=problem.inputs,
+                output=component,
+                auxiliaries=tuple(problem.auxiliaries) + (other,),
+            )
+        )
+    return subs[0], subs[1]
+
+
+def _synthesize_product(
+    problem: ImplicitDefinitionProblem,
+    search: Optional[ProofSearch],
+    collect: Optional[List[SynthesisResult]] = None,
+) -> NRCExpr:
     """Appendix G, product outputs: synthesize each component separately.
 
     The paper derives the component witnesses from the given proof via
@@ -197,20 +242,8 @@ def _synthesize_product(problem: ImplicitDefinitionProblem, search: Optional[Pro
     with the proof-search substrate instead (see DESIGN.md §5) and synthesize
     each component recursively.
     """
-    output = problem.output
-    typ: ProdType = output.typ  # type: ignore[assignment]
-    first = Var(output.name + "_1", typ.left)
-    second = Var(output.name + "_2", typ.right)
-    substituted = beta_normalize_formula(substitute(problem.phi, output, PairTerm(first, second)))
     components = []
-    for component, other in ((first, second), (second, first)):
-        sub_problem = ImplicitDefinitionProblem(
-            name=f"{problem.name}_{component.name}",
-            phi=substituted,
-            inputs=problem.inputs,
-            output=component,
-            auxiliaries=tuple(problem.auxiliaries) + (other,),
-        )
-        result = synthesize(sub_problem, search=search)
+    for sub_problem in product_subproblems(problem):
+        result = synthesize(sub_problem, search=search, collect=collect)
         components.append(result.expression)
     return NPair(components[0], components[1])

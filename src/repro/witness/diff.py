@@ -1,0 +1,142 @@
+"""Structural spec diffing on the hash-consed IR.
+
+An edited specification differs from its ancestor in one (or a few) known
+subtree(s).  :func:`diff_formulas` localizes each edit to its *enclosing
+subtree*: the deepest node under which the two trees stop being attributable
+to a single changed child.  With hash-consed nodes the common case — one
+tweaked conjunct inside a large specification — costs a walk proportional to
+the depth of the edit, because identical subtrees compare by pointer.
+
+The localized sites then decide which sequents of an ancestor determinacy
+proof survive the edit: a sequent that never *mentions* an edited ancestor
+subtree (:func:`sequent_mentions`) is provable verbatim in the new problem's
+search space, so its stored subproof can seed the transposition table
+(:mod:`repro.witness.incremental`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core import node as core
+from repro.logic.formulas import Formula
+from repro.proofs.sequents import Sequent
+
+
+@dataclass(frozen=True)
+class DiffSite:
+    """One localized edit: the path from the root and both subtrees.
+
+    ``path`` is the child-index route from the formula root to the enclosing
+    subtree of the edit (empty when the roots themselves differ).
+    """
+
+    path: Tuple[int, ...]
+    old: core.Node
+    new: core.Node
+
+
+@dataclass(frozen=True)
+class SpecDiff:
+    """The structural difference between an ancestor and an edited spec."""
+
+    old: Formula
+    new: Formula
+    sites: Tuple[DiffSite, ...]
+
+    @property
+    def identical(self) -> bool:
+        return not self.sites
+
+    def old_subtrees(self) -> FrozenSet[core.Node]:
+        """The ancestor-side edited subtrees (what stale sequents mention)."""
+        return frozenset(site.old for site in self.sites)
+
+
+def diff_formulas(old: Formula, new: Formula) -> SpecDiff:
+    """Localize every edit between ``old`` and ``new`` to enclosing subtrees."""
+    sites: List[DiffSite] = []
+    _collect_sites(old, new, (), sites)
+    return SpecDiff(old=old, new=new, sites=tuple(sites))
+
+
+def _collect_sites(
+    old: core.Node, new: core.Node, path: Tuple[int, ...], sites: List[DiffSite]
+) -> None:
+    if old == new:
+        return
+    if type(old) is not type(new):
+        sites.append(DiffSite(path, old, new))
+        return
+    # Binder variables are part of a node's shape, not children: a renamed
+    # or retyped binder makes this node the enclosing subtree of the edit.
+    if getattr(old, "binder", None) != getattr(new, "binder", None):
+        sites.append(DiffSite(path, old, new))
+        return
+    old_children = old.children()
+    new_children = new.children()
+    if len(old_children) != len(new_children) or not old_children:
+        sites.append(DiffSite(path, old, new))
+        return
+    # Same shape: each differing child localizes independently.  (With more
+    # than one differing child this reports several sites rather than
+    # widening to the parent — independent edits stay independent.)
+    for index, (old_child, new_child) in enumerate(zip(old_children, new_children)):
+        _collect_sites(old_child, new_child, path + (index,), sites)
+
+
+def replace_subtrees(
+    root: core.Node,
+    mapping: Dict[core.Node, core.Node],
+    cache: Dict[int, core.Node],
+) -> core.Node:
+    """Rebuild ``root`` with every ``mapping`` key replaced by its value.
+
+    The workhorse of ancestor-proof translation: rewrites old edited
+    subtrees to their new versions wherever they occur.  ``cache`` memoizes
+    across calls by object identity — proof sequents share their formula
+    objects heavily, so after the first traversal a formula costs one
+    ``id()`` probe instead of a structural hash.  (Callers keep the source
+    tree alive for the cache's lifetime, so ids cannot be recycled; the
+    per-``mapping`` cache must never be reused with a different mapping.)
+    Unchanged regions are returned by identity.
+    """
+    done = cache.get(id(root))
+    if done is not None:
+        return done
+    out = mapping.get(root)
+    if out is None:
+        children = root.children()
+        if children:
+            rebuilt = tuple(replace_subtrees(child, mapping, cache) for child in children)
+            out = root if all(a is b for a, b in zip(children, rebuilt)) else root.rebuild(rebuilt)
+        else:
+            out = root
+    cache[id(root)] = out
+    return out
+
+
+def node_mentions(root: core.Node, targets: FrozenSet[core.Node]) -> bool:
+    """Does any subtree of ``root`` appear in ``targets``?"""
+    if not targets:
+        return False
+    return any(node in targets for node in core.walk(root))
+
+
+def sequent_mentions(sequent: Sequent, targets: FrozenSet[core.Node]) -> bool:
+    """Does the sequent mention any of the edited ancestor subtrees?
+
+    A sequent that does not is unaffected by the edit: it is a sequent the
+    *new* proof search could reach verbatim, so its ancestor subproof is a
+    sound transposition-table seed.
+    """
+    if not targets:
+        return False
+    for atom in sequent.theta:
+        if node_mentions(atom, targets):
+            return True
+    for formula in sequent.delta:
+        if node_mentions(formula, targets):
+            return True
+    return False

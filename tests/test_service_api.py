@@ -25,6 +25,7 @@ synthesize_requests = st.builds(
     cache_dir=st.one_of(st.none(), names),
     include_raw=st.booleans(),
     timeout=st.one_of(st.none(), positive_seconds),
+    ancestor=st.one_of(st.none(), st.from_regex(r"[0-9a-f]{16}", fullmatch=True)),
 )
 
 verify_requests = st.builds(
@@ -89,6 +90,7 @@ synthesis_results = st.builds(
     proof_size=st.integers(0, 10**6),
     raw_expression=st.one_of(st.none(), names),
     verification=st.one_of(st.none(), verifications),
+    source=st.one_of(st.none(), st.sampled_from(["witness", "incremental", "cold"])),
 )
 
 error_infos = st.builds(
@@ -211,6 +213,27 @@ process_cache_stats = st.builds(
     result_cache=details,
 )
 
+witness_infos = st.builds(
+    api.WitnessInfo,
+    digest=st.from_regex(r"[0-9a-f]{16}", fullmatch=True),
+    name=names,
+    proof_size=st.integers(0, 10**6),
+    created=seconds,
+    payload_bytes=st.integers(0, 10**9),
+    sequent=st.one_of(st.just(""), names),
+)
+
+witness_pages = st.builds(
+    api.WitnessPage,
+    witnesses=st.lists(witness_infos, max_size=3).map(tuple),
+)
+
+witness_payloads = st.builds(
+    api.WitnessPayload,
+    payload=st.from_regex(r"[A-Za-z0-9+/]{4,32}={0,2}", fullmatch=True),
+    info=st.one_of(st.none(), witness_infos),
+)
+
 ROUNDTRIP_STRATEGIES = {
     api.SynthesizeRequest: synthesize_requests,
     api.VerifyRequest: verify_requests,
@@ -232,6 +255,9 @@ ROUNDTRIP_STRATEGIES = {
     api.CacheEntryInfo: cache_entries,
     api.DiskCacheStats: disk_cache_stats,
     api.ProcessCacheStats: process_cache_stats,
+    api.WitnessInfo: witness_infos,
+    api.WitnessPage: witness_pages,
+    api.WitnessPayload: witness_payloads,
 }
 
 

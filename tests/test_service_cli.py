@@ -282,3 +282,107 @@ def test_fuzz_replay_reports_a_broken_spec(capsys, tmp_path):
     code, out, _ = run_cli(capsys, "fuzz", "--replay", str(bad))
     assert code == 1
     assert "FAIL" in out
+
+
+def test_fuzz_mutate_mode(capsys):
+    code, out, _ = run_cli(capsys, "fuzz", "--mutate", "--seed", "7", "--count", "4", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["mutate"] is True and payload["failures"] == []
+    assert isinstance(payload["sources"], dict)
+
+
+def test_fuzz_mutate_rejects_url(capsys):
+    code, _, err = run_cli(capsys, "fuzz", "--mutate", "--url", "http://localhost:1")
+    assert code == 2
+    assert "local-only" in err
+
+
+def test_witness_cli_handwritten_list_show_exchange(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    code, out, _ = run_cli(capsys, "witness", "handwritten", "--cache-dir", str(cache))
+    assert code == 0
+    assert out.count("installed") == 2
+    assert "replay verified" in out
+
+    code, out, _ = run_cli(capsys, "witness", "list", "--cache-dir", str(cache), "--json")
+    assert code == 0
+    page = json.loads(out)
+    names = sorted(info["name"] for info in page["witnesses"])
+    assert len(names) == 2
+    assert names[0].startswith("example_1_1") and names[1].startswith("example_4_1")
+    digest = page["witnesses"][0]["digest"]
+
+    code, out, _ = run_cli(capsys, "witness", "show", digest, "--cache-dir", str(cache))
+    assert code == 0
+    assert digest in out and "proof size" in out
+
+    exported = tmp_path / "proof.witness"
+    code, out, _ = run_cli(
+        capsys, "witness", "export", digest, "--cache-dir", str(cache), "-o", str(exported)
+    )
+    assert code == 0 and exported.stat().st_size > 0
+
+    other = tmp_path / "other"
+    code, out, _ = run_cli(capsys, "witness", "import", str(exported), "--cache-dir", str(other))
+    assert code == 0
+    code, out, _ = run_cli(capsys, "witness", "list", "--cache-dir", str(other), "--json")
+    assert [info["digest"] for info in json.loads(out)["witnesses"]] == [digest]
+
+
+def test_witness_cli_requires_one_location(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "witness", "list")
+    assert code == 2 and "exactly one of" in err
+    code, _, err = run_cli(
+        capsys, "witness", "show", "0" * 64, "--cache-dir", str(tmp_path)
+    )
+    assert code == 2 and "no witness" in err
+
+
+def test_synthesize_ancestor_requires_cache_dir(capsys):
+    code, _, err = run_cli(capsys, "synthesize", "union_view", "--ancestor", "f" * 64)
+    assert code == 2
+    assert "--ancestor needs --cache-dir" in err
+
+
+def test_synthesize_ancestor_incremental_roundtrip(capsys, tmp_path):
+    import random
+
+    from repro.nr.types import UR, SetType
+    from repro.nrc.expr import NDiff, NUnion, NVar
+    from repro.specs.fuzz import build_spec
+    from repro.witness.store import witness_digest
+
+    set_ur = SetType(UR)
+    i1, i2, i3 = NVar("I1", set_ur), NVar("I2", set_ur), NVar("I3", set_ur)
+    ancestor = build_spec(NUnion(NDiff(i1, i2), i3), "cli_anc", random.Random(0))
+    edited = build_spec(NUnion(NDiff(i1, i3), i3), "cli_edit", random.Random(1))
+    ancestor_file = tmp_path / "ancestor.spec"
+    ancestor_file.write_text(ancestor.spec_text())
+    edited_file = tmp_path / "edited.spec"
+    edited_file.write_text(edited.spec_text())
+    cache = tmp_path / "cache"
+
+    code, out, _ = run_cli(
+        capsys, "synthesize", "--spec", str(ancestor_file), "--cache-dir", str(cache), "--json"
+    )
+    assert code == 0
+    cold_payload = json.loads(out)
+    assert cold_payload["source"] == "cold"
+    digest = witness_digest(ancestor.problem.determinacy_goal())
+
+    code, out, _ = run_cli(
+        capsys,
+        "synthesize",
+        "--spec",
+        str(edited_file),
+        "--cache-dir",
+        str(cache),
+        "--ancestor",
+        digest,
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["source"] == "incremental"
+    assert payload["expression"]

@@ -654,3 +654,54 @@ def test_cache_warm_failures_are_logged_and_counted(caplog):
     assert get_registry().counter_total("repro_cache_warm_failures_total") == before + 1
     assert any("cache warm failed" in record.message for record in caplog.records)
     assert "repro_cache_warm_failures_total" in get_registry().render_prometheus()
+
+
+# ------------------------------------------------------------ witness exchange
+def http_put(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="PUT",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def test_witness_endpoints_need_a_disk_backed_cache(server):
+    code, body = http_error(http_get, server.url + "/v1/witnesses")
+    assert code == 400
+    assert body["error"]["code"] == "invalid_request"
+    assert "witness store unavailable" in body["error"]["message"]
+
+
+def test_witness_endpoints_roundtrip(tmp_path):
+    from repro.witness.handwritten import install_handwritten
+
+    service = SynthesisService(cache_dir=str(tmp_path / "cache"))
+    records = install_handwritten(service.cache.witnesses)
+    digests = {record.digest for record in records.values()}
+    with BackgroundServer(service) as handle:
+        status, page = http_get(handle.url + "/v1/witnesses")
+        assert status == 200
+        assert {info["digest"] for info in page["witnesses"]} == digests
+        status, limited = http_get(handle.url + "/v1/witnesses?limit=1")
+        assert status == 200 and len(limited["witnesses"]) == 1
+        digest = page["witnesses"][0]["digest"]
+        status, payload = http_get(handle.url + f"/v1/witnesses/{digest}")
+        assert status == 200
+        assert payload["info"]["digest"] == digest and payload["payload"]
+        code, body = http_error(http_get, handle.url + "/v1/witnesses/" + "0" * 64)
+        assert code == 404 and body["error"]["code"] == "not_found"
+
+    # PUT the exported payload into a second, empty node.
+    receiver = SynthesisService(cache_dir=str(tmp_path / "other"))
+    with BackgroundServer(receiver) as handle:
+        status, info = http_put(handle.url + "/v1/witnesses", payload)
+        assert status == 200 and info["digest"] == digest
+        status, page = http_get(handle.url + "/v1/witnesses")
+        assert [item["digest"] for item in page["witnesses"]] == [digest]
+        code, body = http_error(
+            http_put, handle.url + "/v1/witnesses", {"payload": "definitely-not-base64!"}
+        )
+        assert code == 400 and body["error"]["code"] == "invalid_request"
